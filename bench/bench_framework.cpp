@@ -1,0 +1,188 @@
+// E10 — framework microbenchmarks (google-benchmark).
+//
+// Measures the substrate itself: executor event throughput on the register
+// system in each model, linearizability-checker cost (Wing-Gong search vs
+// the O(n log n) witness check), trace-relation checking, and clock
+// trajectory queries. These are the costs a user of the library pays.
+#include <benchmark/benchmark.h>
+
+#include "clock/trajectory.hpp"
+#include "core/relations.hpp"
+#include "rw/harness.hpp"
+#include "transform/gamma.hpp"
+
+namespace psc {
+namespace {
+
+RwRunConfig bench_config() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(50);
+  cfg.c = microseconds(40);
+  cfg.super = true;
+  cfg.ops_per_node = 20;
+  cfg.think_max = microseconds(200);
+  cfg.horizon = seconds(30);
+  return cfg;
+}
+
+void BM_TimedSystemRun(benchmark::State& state) {
+  RwRunConfig cfg = bench_config();
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto run = run_rw_timed(cfg);
+    events += run.events.size();
+    benchmark::DoNotOptimize(run.ops.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/iter=" +
+                 std::to_string(events / std::max<std::size_t>(
+                                             1, state.iterations())));
+}
+BENCHMARK(BM_TimedSystemRun)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ClockSystemRun(benchmark::State& state) {
+  RwRunConfig cfg = bench_config();
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  ZigzagDrift drift(0.25);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto run = run_rw_clock(cfg, drift);
+    events += run.events.size();
+    benchmark::DoNotOptimize(run.ops.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ClockSystemRun)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MmtSystemRun(benchmark::State& state) {
+  RwRunConfig cfg = bench_config();
+  cfg.ops_per_node = 8;
+  PerfectDrift drift;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto run =
+        run_rw_mmt(cfg, drift, /*ell=*/microseconds(state.range(0)),
+                   /*k=*/cfg.num_nodes + 2);
+    events += run.events.size();
+    benchmark::DoNotOptimize(run.ops.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_MmtSystemRun)->Arg(5)->Arg(50);
+
+std::vector<Operation> sequential_history(int n) {
+  std::vector<Operation> ops;
+  Time t = 0;
+  for (int k = 0; k < n / 2; ++k) {
+    ops.push_back({0, Operation::Kind::kWrite, k + 1, t, t + 1});
+    ops.push_back({1, Operation::Kind::kRead, k + 1, t + 2, t + 3});
+    t += 4;
+  }
+  return ops;
+}
+
+void BM_WingGongSequential(benchmark::State& state) {
+  const auto ops = sequential_history(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = check_linearizable(ops, 0);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_WingGongSequential)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WingGongConcurrent(benchmark::State& state) {
+  // Overlapping ops from several procs: the hard case for the search.
+  std::vector<Operation> ops;
+  const int per_proc = static_cast<int>(state.range(0));
+  for (int p = 0; p < 4; ++p) {
+    Time t = static_cast<Time>(p);  // offset so intervals interleave
+    for (int k = 0; k < per_proc; ++k) {
+      const std::int64_t v = (static_cast<std::int64_t>(p) << 32) | k;
+      ops.push_back({p, Operation::Kind::kWrite, v, t, t + 6});
+      t += 4;
+    }
+  }
+  for (auto _ : state) {
+    const auto r = check_linearizable(ops, 0);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_WingGongConcurrent)->Arg(4)->Arg(8);
+
+void BM_WitnessCheck(benchmark::State& state) {
+  const auto ops = sequential_history(static_cast<int>(state.range(0)));
+  std::vector<Time> points;
+  points.reserve(ops.size());
+  for (const auto& op : ops) points.push_back(op.inv);
+  for (auto _ : state) {
+    const auto r = check_with_points(ops, points, 0);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_WitnessCheck)->Arg(256)->Arg(4096);
+
+void BM_EqWithinRelation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TimedTrace a;
+  for (int k = 0; k < n; ++k) {
+    TimedEvent e;
+    e.action = make_action(k % 2 ? "X" : "Y", k % 4);
+    e.time = k * 10;
+    a.push_back(e);
+  }
+  TimedTrace b = a;
+  for (auto& e : b) e.time += 3;
+  const auto kappa = per_node_classes(4);
+  for (auto _ : state) {
+    const auto r = eq_within(a, b, 5, kappa);
+    benchmark::DoNotOptimize(r.related);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EqWithinRelation)->Arg(64)->Arg(1024);
+
+void BM_TrajectoryQueries(benchmark::State& state) {
+  Rng rng(7);
+  RandomDrift drift(0.2, microseconds(500));
+  const auto traj = drift.generate(microseconds(100), seconds(10), rng);
+  Time t = 0;
+  for (auto _ : state) {
+    t = (t + 37'123) % seconds(10);
+    benchmark::DoNotOptimize(traj.clock_at(t));
+    benchmark::DoNotOptimize(traj.time_first_at(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrajectoryQueries);
+
+void BM_GammaConstruction(benchmark::State& state) {
+  RwRunConfig cfg = bench_config();
+  ZigzagDrift drift(0.25);
+  const auto run = run_rw_clock(cfg, drift);
+  for (auto _ : state) {
+    const auto chk = check_simulation1(run.events, run.trajectories, cfg.d1,
+                                       cfg.d2, cfg.eps);
+    benchmark::DoNotOptimize(chk.delays_ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(run.events.size()));
+}
+BENCHMARK(BM_GammaConstruction);
+
+}  // namespace
+}  // namespace psc
+
+BENCHMARK_MAIN();

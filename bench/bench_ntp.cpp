@@ -1,0 +1,66 @@
+// E11 — the clock substrate the paper presumes (Section 1 / 7.2):
+// NTP-class discipline achieving C_eps.
+//
+// Sweeps sync interval and link asymmetry; reports the theoretical accuracy
+// bound (link asymmetry / 2 + rho * interval) against the achieved accuracy
+// of simulated disciplined clocks, and verifies the qualitative claims the
+// paper builds on: millisecond-class eps under ordinary parameters, eps
+// shrinking with sync frequency and link symmetry.
+#include <algorithm>
+
+#include "clock/discipline.hpp"
+#include "common.hpp"
+
+using namespace psc;
+
+int main() {
+  bench::banner("E11: achieving C_eps with NTP-style discipline");
+
+  Table table({"sync (ms)", "asym (us)", "rho (ppm)", "theory eps",
+               "achieved eps", "syncs"});
+  bool all_within = true;
+  std::vector<Duration> theory_by_interval;
+
+  for (const Duration interval : {milliseconds(100), seconds(1), seconds(4)}) {
+    for (const Duration asym : {Duration{0}, microseconds(300),
+                                milliseconds(1)}) {
+      DisciplineConfig c;
+      c.rho = 50e-6;
+      c.sync_interval = interval;
+      c.link_min = microseconds(100);
+      c.link_max = c.link_min + asym;
+      c.horizon = seconds(30);
+      // Slew budget sized to the worst case (see discipline.cpp).
+      c.max_slew = 4.0 * static_cast<double>(discipline_eps_bound(c)) /
+                       static_cast<double>(interval) +
+                   1e-4;
+      Duration worst = 0;
+      std::size_t syncs = 0;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        const auto d = discipline_clock(c, rng);
+        worst = std::max(worst, d.achieved_eps);
+        syncs = d.trajectory.points().size() - 1;
+      }
+      const Duration theory = discipline_eps_bound(c);
+      table.row(static_cast<double>(interval) / 1e6,
+                static_cast<double>(asym) / 1e3, c.rho * 1e6,
+                format_time(theory), format_time(worst), syncs);
+      all_within = all_within && worst <= theory;
+      if (asym == microseconds(300)) theory_by_interval.push_back(theory);
+    }
+  }
+  table.print(std::cout);
+
+  bench::shape(all_within, "achieved accuracy always within the bound");
+  bench::shape(theory_by_interval.size() == 3 &&
+                   theory_by_interval[0] < theory_by_interval[2],
+               "more frequent sync tightens eps");
+  {
+    DisciplineConfig ordinary;  // library defaults
+    bench::shape(discipline_eps_bound(ordinary) < milliseconds(1),
+                 "millisecond-class eps under ordinary parameters (the "
+                 "Section 1 NTP claim)");
+  }
+  return bench::finish();
+}

@@ -1,0 +1,83 @@
+// E13b — the replicated FIFO queue (total-order broadcast) measured.
+//
+// Every queue operation costs exactly d2' + delta (one broadcast delivery
+// wait — a Figure-3 write), in both models; linearizability is
+// machine-checked under every drift model. This regenerates the
+// "other shared memory objects" claim quantitatively.
+#include <algorithm>
+
+#include "common.hpp"
+#include "rw/queue.hpp"
+#include "transform/clock_system.hpp"
+
+using namespace psc;
+
+int main() {
+  bench::banner("E13b: replicated FIFO queue on total-order broadcast");
+
+  QueueRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(250);
+  cfg.eps = microseconds(40);
+  cfg.ops_per_node = 12;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(30);
+
+  const auto models = standard_drift_models();
+  Table table({"model", "drift", "ops", "bound/op", "max meas",
+               "linearizable"});
+  bool all_lin = true;
+  bool timed_exact = true;
+  bool clock_within = true;
+
+  // Timed model.
+  {
+    Duration worst = 0;
+    bool lin = true;
+    std::size_t ops = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      const auto run = run_queue_timed(cfg);
+      ops += run.ops.size();
+      for (const auto& op : run.ops) {
+        worst = std::max(worst, op.res - op.inv);
+        timed_exact = timed_exact && (op.res - op.inv == cfg.d2 + cfg.delta);
+      }
+      lin = lin && check_linearizable_queue(run.ops).ok;
+    }
+    table.row("timed", "-", ops,
+              bench::us(static_cast<double>(cfg.d2 + cfg.delta)),
+              bench::us(static_cast<double>(worst)), lin ? "yes" : "NO");
+    all_lin = all_lin && lin;
+  }
+
+  // Clock model across drift models.
+  const Duration clock_bound = timed_d2(cfg.d2, cfg.eps) + cfg.delta;
+  for (const auto& model : models) {
+    Duration worst = 0;
+    bool lin = true;
+    std::size_t ops = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      cfg.seed = seed;
+      const auto run = run_queue_clock(cfg, *model);
+      ops += run.ops.size();
+      for (const auto& op : run.ops) {
+        worst = std::max(worst, op.res - op.inv);
+      }
+      lin = lin && check_linearizable_queue(run.ops).ok;
+    }
+    table.row("clock", model->name(), ops,
+              bench::us(static_cast<double>(clock_bound)),
+              bench::us(static_cast<double>(worst)), lin ? "yes" : "NO");
+    all_lin = all_lin && lin;
+    clock_within = clock_within && worst <= clock_bound + 2 * cfg.eps;
+  }
+  table.print(std::cout);
+
+  bench::shape(all_lin, "queue linearizable in every model and drift");
+  bench::shape(timed_exact, "timed-model op cost is exactly d2 + delta");
+  bench::shape(clock_within,
+               "clock-model op cost within (d2 + 2eps + delta) + 2eps drift");
+  return bench::finish();
+}

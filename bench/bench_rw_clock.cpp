@@ -1,0 +1,84 @@
+// E3 — Theorem 6.5: the Simulation-1 transform of algorithm S in the clock
+// model solves plain linearizability with read cost 2eps + delta + c and
+// write cost d2 + 2eps - c (clock time).
+//
+// Sweeps the drift model and c; reports measured real-time latencies
+// against the clock-time bounds (real time adds at most the +-2eps drift a
+// trajectory can accumulate over one operation) and verifies
+// linearizability on every run.
+#include <algorithm>
+
+#include "common.hpp"
+#include "rw/harness.hpp"
+
+using namespace psc;
+
+namespace {
+
+Duration max_lat(const std::vector<Operation>& ops, Operation::Kind kind) {
+  Duration m = 0;
+  for (const Duration l : latencies(ops, kind)) m = std::max(m, l);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3: transformed S in the clock model (Theorem 6.5)");
+
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(60);
+  cfg.delta = 1;
+  cfg.super = true;
+  cfg.ops_per_node = 20;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(30);
+
+  const auto models = standard_drift_models();
+  Table table({"drift", "c (us)", "read bound", "read meas", "write bound",
+               "write meas", "linearizable"});
+  bool all_lin = true;
+  bool within_slack = true;
+  bool perfect_exact = true;
+
+  for (const auto& model : models) {
+    for (Duration c : {Duration{0}, microseconds(100), microseconds(250)}) {
+      cfg.c = c;
+      Duration worst_r = 0, worst_w = 0;
+      bool lin = true;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        cfg.seed = seed;
+        const auto run = run_rw_clock(cfg, *model);
+        worst_r = std::max(worst_r, max_lat(run.ops, Operation::Kind::kRead));
+        worst_w = std::max(worst_w, max_lat(run.ops, Operation::Kind::kWrite));
+        lin = lin && check_linearizable(run.ops, cfg.v0).ok;
+      }
+      table.row(model->name(), bench::us(static_cast<double>(c)),
+                bench::us(static_cast<double>(bound_read_clock(cfg))),
+                bench::us(static_cast<double>(worst_r)),
+                bench::us(static_cast<double>(bound_write_clock(cfg))),
+                bench::us(static_cast<double>(worst_w)),
+                lin ? "yes" : "NO");
+      all_lin = all_lin && lin;
+      within_slack = within_slack &&
+                     worst_r <= bound_read_clock(cfg) + 2 * cfg.eps &&
+                     worst_w <= bound_write_clock(cfg) + 2 * cfg.eps;
+      if (model->name() == "perfect") {
+        perfect_exact = perfect_exact && worst_r == bound_read_clock(cfg) &&
+                        worst_w == bound_write_clock(cfg);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  bench::shape(all_lin,
+               "transformed S is linearizable under every drift model");
+  bench::shape(within_slack,
+               "real-time latency <= clock bound + 2eps drift slack");
+  bench::shape(perfect_exact,
+               "with perfect clocks the bounds are met exactly");
+  return bench::finish();
+}

@@ -1,0 +1,119 @@
+// E4 — the Section 6.3 comparison: our transformed algorithm S vs the
+// time-sliced clock-model algorithm of [10] (reconstruction), in the
+// "clocks within u of each other" accounting with u = 2 eps.
+//
+// Paper claims (translated into the u-model):
+//   ours      read = c + u (+delta),  write = d2 - c + u;  combined d2 + 2u
+//   baseline  read = 4u,              write = d2 + 3u;     combined d2 + 7u
+// and therefore: ours wins reads for every c < 3u, wins writes for every
+// c > -2u (always), and wins combined read+write by 5u.
+#include <algorithm>
+
+#include "common.hpp"
+#include "rw/harness.hpp"
+
+using namespace psc;
+
+namespace {
+
+Duration max_lat(const std::vector<Operation>& ops, Operation::Kind kind) {
+  Duration m = 0;
+  for (const Duration l : latencies(ops, kind)) m = std::max(m, l);
+  return m;
+}
+
+struct Measured {
+  Duration read = 0;
+  Duration write = 0;
+  bool lin = true;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E4: ours vs [10] baseline in the u-model (Section 6.3)");
+
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(50);  // u = 100us
+  cfg.delta = 1;
+  cfg.super = true;
+  cfg.ops_per_node = 20;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(30);
+  const Duration u = 2 * cfg.eps;
+
+  ZigzagDrift drift(0.25);  // hostile-but-legal clocks for both systems
+
+  auto measure_ours = [&](Duration c) {
+    cfg.c = c;
+    Measured m;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      const auto run = run_rw_clock(cfg, drift);
+      m.read = std::max(m.read, max_lat(run.ops, Operation::Kind::kRead));
+      m.write = std::max(m.write, max_lat(run.ops, Operation::Kind::kWrite));
+      m.lin = m.lin && check_linearizable(run.ops, cfg.v0).ok;
+    }
+    return m;
+  };
+  auto measure_baseline = [&]() {
+    cfg.c = 0;
+    Measured m;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      const auto run = run_rw_sliced(cfg, drift);
+      m.read = std::max(m.read, max_lat(run.ops, Operation::Kind::kRead));
+      m.write = std::max(m.write, max_lat(run.ops, Operation::Kind::kWrite));
+      m.lin = m.lin && check_linearizable(run.ops, cfg.v0).ok;
+    }
+    return m;
+  };
+
+  const Measured base = measure_baseline();
+  Table table({"algorithm", "c/u", "paper read", "meas read", "paper write",
+               "meas write", "combined meas", "linearizable"});
+  table.row("baseline [10]", "-",
+            bench::us(static_cast<double>(4 * u)),
+            bench::us(static_cast<double>(base.read)),
+            bench::us(static_cast<double>(cfg.d2 + 3 * u)),
+            bench::us(static_cast<double>(base.write)),
+            bench::us(static_cast<double>(base.read + base.write)),
+            base.lin ? "yes" : "NO");
+
+  bool reads_win_below_3u = true;
+  bool combined_always_wins = true;
+  Measured at_3u{};
+  for (const Duration c : {Duration{0}, u, 2 * u, 3 * u - microseconds(10),
+                           cfg.d2 - microseconds(1)}) {
+    const Measured m = measure_ours(c);
+    table.row("ours (S + Sim1)",
+              static_cast<double>(c) / static_cast<double>(u),
+              bench::us(static_cast<double>(c + u)),
+              bench::us(static_cast<double>(m.read)),
+              bench::us(static_cast<double>(cfg.d2 - c + u)),
+              bench::us(static_cast<double>(m.write)),
+              bench::us(static_cast<double>(m.read + m.write)),
+              m.lin ? "yes" : "NO");
+    if (c < 3 * u && m.read >= base.read) reads_win_below_3u = false;
+    if (m.read + m.write >= base.read + base.write) {
+      combined_always_wins = false;
+    }
+    if (c == 3 * u - microseconds(10)) at_3u = m;
+    bench::g_failures += m.lin ? 0 : 1;
+  }
+  table.print(std::cout);
+
+  bench::shape(base.lin, "baseline reconstruction is linearizable");
+  bench::shape(reads_win_below_3u,
+               "ours wins reads for every c < 3u (crossover where the paper "
+               "puts it: c + u vs 4u)");
+  bench::shape(combined_always_wins,
+               "ours wins combined read+write for every c (d2 + 2u vs d2 + "
+               "7u: 5u advantage)");
+  bench::shape(at_3u.read > 0 && at_3u.read <= base.read,
+               "at c ~ 3u the read advantage has shrunk to ~0 (crossover)");
+  return bench::finish();
+}

@@ -1,0 +1,85 @@
+// E1 / E2 — Lemmas 6.1 and 6.2: algorithms L and S in the timed model.
+//
+// Regenerates the paper's complexity rows
+//   L: read = c + delta,          write = d2' - c      (Lemma 6.1)
+//   S: read = 2eps + c + delta,   write = d2' - c      (Lemma 6.2)
+// across a sweep of the tradeoff parameter c, and verifies linearizability
+// (both) and eps-superlinearizability (S) on every run.
+#include <algorithm>
+
+#include "common.hpp"
+#include "rw/harness.hpp"
+
+using namespace psc;
+
+namespace {
+
+Duration max_lat(const std::vector<Operation>& ops, Operation::Kind kind) {
+  Duration m = 0;
+  for (const Duration l : latencies(ops, kind)) m = std::max(m, l);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1/E2: L and S in the timed model (Lemmas 6.1, 6.2)");
+
+  RwRunConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.d1 = microseconds(50);
+  cfg.d2 = microseconds(400);
+  cfg.eps = microseconds(30);
+  cfg.delta = 1;
+  cfg.ops_per_node = 25;
+  cfg.think_max = microseconds(200);
+  cfg.horizon = seconds(30);
+
+  Table table({"algo", "c (us)", "read bound", "read meas", "write bound",
+               "write meas", "linearizable", "superlin"});
+  bool all_exact = true;
+  bool all_lin = true;
+  bool s_all_super = true;
+
+  for (bool super : {false, true}) {
+    // Section 6.1: c ranges over [0, d2' - 2eps] for S (d2' for L).
+    const Duration c_max = super ? cfg.d2 - 2 * cfg.eps : cfg.d2;
+    for (Duration c : {Duration{0}, cfg.d2 / 4, cfg.d2 / 2, 3 * cfg.d2 / 4,
+                       c_max}) {
+      cfg.super = super;
+      cfg.c = c;
+      Duration worst_r = 0, worst_w = 0;
+      bool lin = true, sup = true;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        cfg.seed = seed;
+        const auto run = run_rw_timed(cfg);
+        worst_r = std::max(worst_r, max_lat(run.ops, Operation::Kind::kRead));
+        worst_w = std::max(worst_w, max_lat(run.ops, Operation::Kind::kWrite));
+        lin = lin && check_linearizable(run.ops, cfg.v0).ok;
+        if (super) {
+          sup = sup && check_superlinearizable(run.ops, cfg.v0, 2 * cfg.eps).ok;
+        }
+      }
+      table.row(super ? "S" : "L", bench::us(static_cast<double>(c)),
+                bench::us(static_cast<double>(bound_read_timed(cfg))),
+                bench::us(static_cast<double>(worst_r)),
+                bench::us(static_cast<double>(bound_write_timed(cfg))),
+                bench::us(static_cast<double>(worst_w)),
+                lin ? "yes" : "NO",
+                super ? (sup ? "yes" : "NO") : "n/a");
+      all_exact = all_exact && worst_r == bound_read_timed(cfg) &&
+                  worst_w == bound_write_timed(cfg);
+      all_lin = all_lin && lin;
+      if (super) s_all_super = s_all_super && sup;
+    }
+  }
+  table.print(std::cout);
+
+  bench::shape(all_exact,
+               "timed-model latencies equal the Lemma 6.1/6.2 bounds exactly");
+  bench::shape(all_lin, "every run is linearizable");
+  bench::shape(s_all_super, "every S run is eps-superlinearizable");
+  bench::note("read+write is constant (= d2 + delta [+2eps for S]) across c: "
+              "the tradeoff the paper describes");
+  return bench::finish();
+}

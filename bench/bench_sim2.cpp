@@ -1,0 +1,87 @@
+// E6 — Theorems 5.1 / 5.2: the second simulation (MMT model).
+//
+// Runs the full Theorem 5.2 pipeline (timed algorithm -> clock buffers ->
+// MMT node with TICK granularity) across an ell sweep and reports:
+//   * register latency vs the clock-model bound + the k*ell + 2eps + 3*ell
+//     shift budget (the P^delta content of Theorem 5.1 on responses);
+//   * linearizability of every run (Section 6.3's closing remark);
+//   * monotonicity: finer steps (smaller ell) tighten latency.
+#include <algorithm>
+
+#include "common.hpp"
+#include "mmt/mmt_system.hpp"
+#include "rw/harness.hpp"
+
+using namespace psc;
+
+namespace {
+
+Duration max_lat(const std::vector<Operation>& ops, Operation::Kind kind) {
+  Duration m = 0;
+  for (const Duration l : latencies(ops, kind)) m = std::max(m, l);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E6: the MMT pipeline (Theorems 5.1/5.2)");
+
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(40);
+  cfg.c = microseconds(30);
+  cfg.super = true;
+  cfg.ops_per_node = 12;
+  cfg.think_max = microseconds(400);
+  cfg.horizon = seconds(30);
+  const int k = cfg.num_nodes + 2;
+
+  const auto models = standard_drift_models();
+  Table table({"ell (us)", "drift", "shift budget", "read bound+", "read meas",
+               "write bound+", "write meas", "linearizable"});
+  bool all_lin = true;
+  bool all_within = true;
+  std::vector<Duration> worst_read_by_ell;
+
+  for (const Duration ell : {microseconds(1), microseconds(10),
+                             microseconds(100)}) {
+    const Duration shift = mmt_shift_bound(k, ell, cfg.eps);
+    Duration sweep_read = 0;
+    for (const auto& model : models) {
+      Duration worst_r = 0, worst_w = 0;
+      bool lin = true;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        cfg.seed = seed;
+        const auto run = run_rw_mmt(cfg, *model, ell, k);
+        worst_r = std::max(worst_r, max_lat(run.ops, Operation::Kind::kRead));
+        worst_w = std::max(worst_w, max_lat(run.ops, Operation::Kind::kWrite));
+        lin = lin && check_linearizable(run.ops, cfg.v0).ok;
+      }
+      const Duration rb = bound_read_clock(cfg) + 2 * cfg.eps + shift;
+      const Duration wb = bound_write_clock(cfg) +
+                          static_cast<Duration>(k) * ell + 2 * cfg.eps + shift;
+      table.row(bench::us(static_cast<double>(ell)), model->name(),
+                format_time(shift),
+                bench::us(static_cast<double>(rb)),
+                bench::us(static_cast<double>(worst_r)),
+                bench::us(static_cast<double>(wb)),
+                bench::us(static_cast<double>(worst_w)),
+                lin ? "yes" : "NO");
+      all_lin = all_lin && lin;
+      all_within = all_within && worst_r <= rb && worst_w <= wb;
+      sweep_read = std::max(sweep_read, worst_r);
+    }
+    worst_read_by_ell.push_back(sweep_read);
+  }
+  table.print(std::cout);
+
+  bench::shape(all_lin, "the full MMT deployment stays linearizable");
+  bench::shape(all_within,
+               "latencies within clock bounds + k*ell + 2eps + 3*ell shift");
+  bench::shape(worst_read_by_ell.front() < worst_read_by_ell.back(),
+               "smaller ell (finer steps/ticks) gives tighter latency");
+  return bench::finish();
+}

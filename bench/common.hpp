@@ -1,0 +1,46 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one of the paper's quantitative artifacts
+// (see DESIGN.md's experiment index) as an ASCII table of
+// "parameters | paper bound | measured" rows, then checks the *shape*
+// claims (who wins, monotonicity, crossovers) and reports PASS/FAIL. The
+// binaries run standalone and exit nonzero on a shape violation so the
+// bench sweep doubles as a regression gate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace psc::bench {
+
+inline int g_failures = 0;
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+inline void shape(bool ok, const std::string& claim) {
+  std::cout << (ok ? "  [shape OK]   " : "  [shape FAIL] ") << claim << "\n";
+  if (!ok) ++g_failures;
+}
+
+// Nanoseconds -> microseconds for compact tables.
+inline double us(double ns) { return ns / 1000.0; }
+
+inline int finish() {
+  if (g_failures > 0) {
+    std::cout << "\n" << g_failures << " shape check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall shape checks passed\n";
+  return 0;
+}
+
+}  // namespace psc::bench

@@ -1,0 +1,67 @@
+// Example: buying mutual exclusion with synchronized time (TDMA leases).
+//
+// Four nodes share a resource with zero messages: each owns a rotating
+// time slot. Run twice on +-eps clocks — once with a naive zero guard band
+// (leases overlap in real time!) and once with the paper-derived guard
+// >= eps (exclusion holds, utilization drops by exactly 2*eps/slot).
+//
+// Usage: ./tdma_leases [eps_us] [slot_us]
+#include <cstdlib>
+#include <iostream>
+
+#include "algos/tdma.hpp"
+#include "runtime/clocked.hpp"
+#include "runtime/executor.hpp"
+
+using namespace psc;
+
+namespace {
+
+void run_once(Duration slot, Duration guard, Duration eps) {
+  Executor exec({.horizon = seconds(5), .seed = 11});
+  TdmaParams p;
+  p.slot = slot;
+  p.guard = guard;
+  p.max_leases = 6;
+  auto nodes = make_tdma_nodes(4, p);
+  OpposingOffsetDrift drift;
+  Rng seeder(2026);
+  for (int i = 0; i < 4; ++i) {
+    Rng r = seeder.split();
+    exec.add_owned(std::make_unique<ClockedMachine>(
+        std::move(nodes[static_cast<std::size_t>(i)]),
+        std::make_shared<ClockTrajectory>(
+            drift.generate(eps, seconds(5), r))));
+  }
+  exec.run();
+  const auto leases = extract_leases(exec.events());
+  Time busy = 0, span = 0;
+  for (const auto& l : leases) {
+    busy += l.release - l.grant;
+    span = std::max(span, l.release);
+  }
+  std::cout << "  guard=" << format_time(guard) << ": " << leases.size()
+            << " leases, " << count_overlaps(leases)
+            << " overlapping pairs, utilization "
+            << (span ? 100.0 * static_cast<double>(busy) /
+                           static_cast<double>(span)
+                     : 0.0)
+            << "%\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Duration eps = microseconds(argc > 1 ? std::atoll(argv[1]) : 25);
+  const Duration slot = microseconds(argc > 2 ? std::atoll(argv[2]) : 250);
+
+  std::cout << "TDMA leases on clocks within eps = " << format_time(eps)
+            << " of real time, slot = " << format_time(slot) << "\n\n";
+  std::cout << "naive design (guard band 0):\n";
+  run_once(slot, 0, eps);
+  std::cout << "\npaper design (Q_eps ⊆ P: guard band eps):\n";
+  run_once(slot, eps + 2, eps);
+  std::cout << "\nthe guard trades exactly 2*eps per slot of utilization "
+               "for exclusion\nthat survives any legal clock behaviour.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "algos/flood.hpp"
+
+#include <algorithm>
+
+#include "runtime/system.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+
+FloodNode::FloodNode(const FloodParams& params)
+    : Machine("flood_" + std::to_string(params.node)), params_(params) {
+  PSC_CHECK(params_.hops_bound >= 0, "hops_bound");
+  PSC_CHECK(params_.d2_design >= 0, "d2_design");
+  if (params_.source) {
+    got_payload_ = true;
+    payload_ = params_.payload;
+    send_targets_ = params_.peers;
+  }
+}
+
+Time FloodNode::complete_at() const {
+  return static_cast<Time>(params_.hops_bound) * params_.d2_design +
+         params_.margin;
+}
+
+ActionRole FloodNode::classify(const Action& a) const {
+  if (a.node != params_.node) return ActionRole::kNotMine;
+  if (a.name == "RECVMSG") return ActionRole::kInput;
+  if (a.name == "SENDMSG" || a.name == "DELIVER") return ActionRole::kOutput;
+  if (a.name == "COMPLETE") {
+    return params_.source ? ActionRole::kOutput : ActionRole::kNotMine;
+  }
+  return ActionRole::kNotMine;
+}
+
+void FloodNode::apply_input(const Action& a, Time /*now*/) {
+  PSC_CHECK(a.msg && a.msg->kind == "FLOOD", "unexpected message");
+  if (got_payload_) return;  // duplicates are ignored (relay-once)
+  got_payload_ = true;
+  payload_ = as_int(a.msg->fields.at(0));
+  send_targets_ = params_.peers;
+}
+
+std::vector<Action> FloodNode::enabled(Time now) const {
+  std::vector<Action> out;
+  const int i = params_.node;
+  if (got_payload_ && !delivered_) {
+    out.push_back(make_action("DELIVER", i, {Value{payload_}}));
+  }
+  if (delivered_) {
+    for (int j : send_targets_) {
+      out.push_back(
+          make_send(i, j, make_message("FLOOD", {Value{payload_}})));
+    }
+  }
+  if (params_.source && !announced_ && now >= complete_at()) {
+    out.push_back(make_action("COMPLETE", i));
+  }
+  return out;
+}
+
+void FloodNode::apply_local(const Action& a, Time now) {
+  if (a.name == "DELIVER") {
+    PSC_CHECK(got_payload_ && !delivered_, "DELIVER out of turn");
+    delivered_ = true;
+  } else if (a.name == "SENDMSG") {
+    auto it = std::find(send_targets_.begin(), send_targets_.end(), a.peer);
+    PSC_CHECK(it != send_targets_.end(), "duplicate relay");
+    send_targets_.erase(it);
+  } else if (a.name == "COMPLETE") {
+    PSC_CHECK(params_.source && !announced_ && now >= complete_at(),
+              "COMPLETE out of turn");
+    announced_ = true;
+  } else {
+    PSC_CHECK(false, "unexpected action " << to_string(a));
+  }
+}
+
+Time FloodNode::upper_bound(Time now) const {
+  Time m = kTimeMax;
+  if ((got_payload_ && !delivered_) || !send_targets_.empty()) {
+    m = now;  // deliver/relay urgently
+  }
+  if (params_.source && !announced_) m = std::min(m, complete_at());
+  return m <= now ? now : m;
+}
+
+Time FloodNode::next_enabled(Time now) const {
+  if (params_.source && !announced_ && complete_at() > now) {
+    return complete_at();
+  }
+  return kTimeMax;
+}
+
+std::vector<std::unique_ptr<Machine>> make_flood_nodes(
+    const Graph& graph, int source, std::int64_t payload, int hops_bound,
+    Duration d2_design, Duration margin) {
+  std::vector<std::unique_ptr<Machine>> out;
+  for (int i = 0; i < graph.n; ++i) {
+    FloodParams p;
+    p.node = i;
+    p.source = i == source;
+    p.peers = graph.out_peers(i);
+    p.payload = payload;
+    p.hops_bound = hops_bound;
+    p.d2_design = d2_design;
+    p.margin = margin;
+    out.push_back(std::make_unique<FloodNode>(p));
+  }
+  return out;
+}
+
+bool flood_safe(const TimedTrace& trace, int n) {
+  Time last_deliver = -1;
+  Time first_complete = kTimeMax;
+  int delivers = 0;
+  for (const auto& e : trace) {
+    if (e.action.name == "DELIVER") {
+      ++delivers;
+      last_deliver = std::max(last_deliver, e.time);
+    } else if (e.action.name == "COMPLETE") {
+      first_complete = std::min(first_complete, e.time);
+    }
+  }
+  return delivers == n && last_deliver <= first_complete &&
+         first_complete < kTimeMax;
+}
+
+}  // namespace psc

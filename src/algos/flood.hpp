@@ -1,0 +1,74 @@
+// Flooding broadcast with *time-based termination detection* — the fourth
+// algorithm family built with the paper's methodology (timeouts in place of
+// acknowledgment waves, as in Perlman's LAN spanning-tree world [14]).
+//
+// The source DELIVERs and relays its payload at time 0; every other node
+// DELIVERs and relays on first receipt. Relaying is instantaneous (urgent),
+// so after h hops the payload has traveled at most h * d2' of real time.
+// The source announces COMPLETE at
+//
+//     complete_at = hops_bound * d2_design + margin,
+//
+// claiming every node has delivered. In the timed model the rule
+// d2_design = d2 (the channel's real bound) makes the claim sound. On
+// eps-clocks the announcement time is read off the *source's clock*, which
+// may run up to eps early, while deliveries happen in real time — the
+// Theorem 4.7 rule (design against d2' = d2 + 2 eps) restores soundness
+// with room to spare; a naive margin < eps over h*d2 is violated by
+// max-delay schedules, which the tests demonstrate.
+//
+// Safety property (real time): every DELIVER precedes COMPLETE.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/trace.hpp"
+
+namespace psc {
+
+struct FloodParams {
+  int node = 0;
+  bool source = false;
+  std::vector<int> peers;     // relay targets (graph out-neighbours)
+  std::int64_t payload = 0;   // source only
+  int hops_bound = 1;         // >= eccentricity of the source
+  Duration d2_design = 0;     // the per-hop delay budget assumed
+  Duration margin = 1;
+};
+
+class FloodNode final : public Machine {
+ public:
+  explicit FloodNode(const FloodParams& params);
+
+  bool delivered() const { return delivered_; }
+
+  ActionRole classify(const Action& a) const override;
+  void apply_input(const Action& a, Time now) override;
+  std::vector<Action> enabled(Time now) const override;
+  void apply_local(const Action& a, Time now) override;
+  Time upper_bound(Time now) const override;
+  Time next_enabled(Time now) const override;
+
+ private:
+  Time complete_at() const;
+
+  FloodParams params_;
+  bool delivered_ = false;      // DELIVER performed
+  bool got_payload_ = false;    // payload known (drives DELIVER)
+  std::int64_t payload_ = 0;
+  std::vector<int> send_targets_;
+  bool announced_ = false;      // source's COMPLETE performed
+};
+
+// One FloodNode per node of `graph`; node `source` starts the flood.
+std::vector<std::unique_ptr<Machine>> make_flood_nodes(
+    const struct Graph& graph, int source, std::int64_t payload,
+    int hops_bound, Duration d2_design, Duration margin);
+
+// True iff every DELIVER event precedes every COMPLETE event (real time),
+// and exactly `n` DELIVERs happened.
+bool flood_safe(const TimedTrace& trace, int n);
+
+}  // namespace psc

@@ -1,0 +1,61 @@
+// Clock discipline: how a C_eps clock is achieved in practice.
+//
+// The paper takes eps-accurate clocks as given, citing NTP [12] and the
+// Digital Time Service [3] ("capable of accuracies in the order of a
+// millisecond"). This module supplies that substrate: it simulates a free
+// oscillator with bounded rate error being disciplined against a reference
+// time server over an asymmetric-delay link, using Cristian-style round
+// trips and slewed (never stepped — the clock must stay continuous and
+// strictly increasing, axioms C3/C4) corrections.
+//
+// The produced trajectory comes with two numbers:
+//   theoretical_eps — the worst-case bound implied by the parameters:
+//       (link_max - link_min) / 2        offset-estimate error
+//     + rho * sync_interval              drift accumulated between syncs
+//     + slew residue                     error not yet slewed away
+//   achieved_eps    — the max |clock - now| actually realized.
+//
+// bench_ntp sweeps sync interval and link asymmetry and reproduces the
+// qualitative claim the paper builds on: millisecond-class eps is cheap,
+// and eps shrinks with sync frequency and link symmetry.
+#pragma once
+
+#include "clock/trajectory.hpp"
+
+namespace psc {
+
+struct DisciplineConfig {
+  double rho = 50e-6;                  // oscillator rate error bound (50 ppm)
+  Duration sync_interval = seconds(1); // time between sync rounds
+  Duration link_min = microseconds(100);  // one-way delay to the server
+  Duration link_max = microseconds(400);
+  double max_slew = 500e-6;            // max rate adjustment for corrections
+  Time horizon = seconds(10);
+};
+
+struct DisciplinedClock {
+  ClockTrajectory trajectory = ClockTrajectory::perfect();
+  Duration theoretical_eps = 0;
+  Duration achieved_eps = 0;
+};
+
+// Simulates one disciplined clock. The trajectory's eps is set to
+// theoretical_eps and validated over the horizon.
+DisciplinedClock discipline_clock(const DisciplineConfig& config, Rng& rng);
+
+// The worst-case accuracy bound for a configuration.
+Duration discipline_eps_bound(const DisciplineConfig& config);
+
+// DriftModel adapter so disciplined clocks can drive any system builder.
+// The configured bound must fit inside the eps the system asks for
+// (checked): discipline parameters are the *mechanism*, C_eps the contract.
+class DisciplinedDrift final : public DriftModel {
+ public:
+  explicit DisciplinedDrift(DisciplineConfig config);
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+
+ private:
+  DisciplineConfig config_;
+};
+
+}  // namespace psc

@@ -1,0 +1,251 @@
+#include "clock/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+namespace {
+
+// Interpolates y between (x0,y0)-(x1,y1) at x using 128-bit intermediate
+// math (rounding toward -inf keeps the result within [y0, y1]).
+Time lerp(Time x0, Time y0, Time x1, Time y1, Time x) {
+  PSC_CHECK(x0 <= x && x <= x1 && x0 < x1, "lerp out of range");
+  const __int128 num = static_cast<__int128>(y1 - y0) * (x - x0);
+  return y0 + static_cast<Time>(num / (x1 - x0));
+}
+
+}  // namespace
+
+ClockTrajectory ClockTrajectory::perfect() {
+  return ClockTrajectory({{0, 0}}, 0);
+}
+
+ClockTrajectory::ClockTrajectory(std::vector<Breakpoint> points, Duration eps)
+    : points_(std::move(points)), eps_(eps) {
+  PSC_CHECK(!points_.empty(), "trajectory needs at least one breakpoint");
+  PSC_CHECK(points_.front().t == 0 && points_.front().c == 0,
+            "axiom C1: clock must start at (0, 0)");
+  PSC_CHECK(eps_ >= 0, "eps must be nonnegative");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    PSC_CHECK(points_[i].t > points_[i - 1].t,
+              "breakpoint times must strictly increase");
+    PSC_CHECK(points_[i].c > points_[i - 1].c,
+              "axiom C3: clock must strictly increase across segments");
+  }
+}
+
+Time ClockTrajectory::clock_at(Time t) const {
+  PSC_CHECK(t >= 0, "clock_at(" << t << ")");
+  // Beyond the last breakpoint the clock runs at rate 1.
+  const auto& last = points_.back();
+  if (t >= last.t) return last.c + (t - last.t);
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Time x, const Breakpoint& b) { return x < b.t; });
+  // it points to the first breakpoint with .t > t; predecessor exists
+  // because points_.front().t == 0 <= t.
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (t == lo.t) return lo.c;
+  return lerp(lo.t, lo.c, hi.t, hi.c, t);
+}
+
+Time ClockTrajectory::time_first_at(Time c) const {
+  if (c <= 0) return 0;
+  const auto& last = points_.back();
+  if (c >= last.c) return last.t + (c - last.c);
+  // Find the segment whose clock range contains c, then binary-search the
+  // nanosecond grid (robust against interpolation rounding).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), c,
+      [](Time x, const Breakpoint& b) { return x < b.c; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (c == lo.c) {
+    // Earliest time: could even be in an earlier flat-rounded region, but
+    // segments strictly increase, so lo.t is the first grid time with
+    // clock >= lo.c unless the previous segment already reached it; since
+    // breakpoint clocks strictly increase, lo.t is correct.
+    return lo.t;
+  }
+  Time a = lo.t, b = hi.t;  // clock_at(a) < c <= clock_at(b)
+  while (a + 1 < b) {
+    const Time mid = a + (b - a) / 2;
+    if (clock_at(mid) >= c) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return b;
+}
+
+Time ClockTrajectory::time_last_at(Time c) const {
+  if (c < 0) {
+    PSC_CHECK(false, "time_last_at(" << c << "): clock is never negative");
+  }
+  const auto& last = points_.back();
+  if (c >= last.c) return last.t + (c - last.c);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), c,
+      [](Time x, const Breakpoint& b) { return x < b.c; });
+  const auto& hi = *it;  // clock_at(hi.t) > c
+  const auto& lo = *(it - 1);
+  Time a = lo.t, b = hi.t;  // clock_at(a) <= c < clock_at(b)
+  while (a + 1 < b) {
+    const Time mid = a + (b - a) / 2;
+    if (clock_at(mid) <= c) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+void ClockTrajectory::validate(Time horizon) const {
+  // Within a linear segment |c(t) - t| is extremal at the endpoints, so
+  // checking breakpoints (and the horizon point on the final ray) suffices.
+  for (const auto& p : points_) {
+    PSC_CHECK(std::llabs(p.c - p.t) <= eps_,
+              "C_eps violated at breakpoint t=" << format_time(p.t)
+                                                << " c=" << format_time(p.c)
+                                                << " eps=" << format_time(eps_));
+  }
+  const auto& last = points_.back();
+  if (horizon > last.t) {
+    const Time c_end = last.c + (horizon - last.t);
+    PSC_CHECK(std::llabs(c_end - horizon) <= eps_,
+              "C_eps violated on final ray");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drift models
+// ---------------------------------------------------------------------------
+
+ClockTrajectory PerfectDrift::generate(Duration /*eps*/, Time /*horizon*/,
+                                       Rng& /*rng*/) const {
+  return ClockTrajectory::perfect();
+}
+
+OffsetDrift::OffsetDrift(double frac) : DriftModel("offset"), frac_(frac) {
+  PSC_CHECK(frac >= -1.0 && frac <= 1.0, "offset frac=" << frac);
+}
+
+ClockTrajectory OffsetDrift::generate(Duration eps, Time /*horizon*/,
+                                      Rng& /*rng*/) const {
+  const Time off = static_cast<Time>(frac_ * static_cast<double>(eps));
+  if (off == 0 || eps == 0) return ClockTrajectory::perfect();
+  std::vector<Breakpoint> pts;
+  pts.push_back({0, 0});
+  if (off > 0) {
+    // Rate 2 until the offset is reached: c - t grows 1 per unit time.
+    pts.push_back({off, 2 * off});
+  } else {
+    // Rate 1/2: c - t shrinks 1/2 per unit time; needs duration 2|off|.
+    pts.push_back({-2 * off, -off});
+  }
+  return ClockTrajectory(std::move(pts), eps);
+}
+
+ZigzagDrift::ZigzagDrift(double rho, double band_frac)
+    : DriftModel("zigzag"), rho_(rho), band_frac_(band_frac) {
+  PSC_CHECK(rho > 0 && rho < 1, "rho=" << rho);
+  PSC_CHECK(band_frac > 0 && band_frac <= 1, "band_frac=" << band_frac);
+}
+
+ClockTrajectory ZigzagDrift::generate(Duration eps, Time horizon,
+                                      Rng& rng) const {
+  if (eps == 0) return ClockTrajectory::perfect();
+  const bool start_up = rng.flip(0.5);
+  const Time band = std::max<Time>(
+      1, static_cast<Time>(band_frac_ * static_cast<double>(eps)));
+  // Time to cross the band at skew-rate rho: 2*band / rho.
+  const Time half =
+      std::max<Time>(2, static_cast<Time>(2.0 * static_cast<double>(band) /
+                                          rho_));
+  std::vector<Breakpoint> pts;
+  pts.push_back({0, 0});
+  Time t = 0, c = 0;
+  bool up = true;
+  // First half-swing: from offset 0 to +band or -band (random phase).
+  {
+    const Time dt = half / 2;
+    const Time dc = start_up ? dt + band : dt - band;
+    PSC_CHECK(dc > 0, "zigzag produced nonincreasing clock; rho too large");
+    t += dt;
+    c += dc;
+    pts.push_back({t, c});
+    up = !start_up;
+  }
+  while (t < horizon + half) {
+    const Time dt = half;
+    // Swing across the whole band: skew changes by 2*band.
+    const Time dc = up ? dt + 2 * band : dt - 2 * band;
+    PSC_CHECK(dc > 0, "zigzag produced nonincreasing clock; rho too large");
+    t += dt;
+    c += dc;
+    pts.push_back({t, c});
+    up = !up;
+  }
+  return ClockTrajectory(std::move(pts), eps);
+}
+
+RandomDrift::RandomDrift(double rho, Duration mean_segment, double band_frac)
+    : DriftModel("random"),
+      rho_(rho),
+      mean_segment_(mean_segment),
+      band_frac_(band_frac) {
+  PSC_CHECK(rho > 0 && rho < 1, "rho=" << rho);
+  PSC_CHECK(mean_segment > 0, "mean_segment=" << mean_segment);
+}
+
+ClockTrajectory RandomDrift::generate(Duration eps, Time horizon,
+                                      Rng& rng) const {
+  if (eps == 0) return ClockTrajectory::perfect();
+  const auto band = static_cast<double>(eps) * band_frac_;
+  std::vector<Breakpoint> pts;
+  pts.push_back({0, 0});
+  Time t = 0, c = 0;
+  while (t < horizon + mean_segment_) {
+    const Time dt = std::max<Time>(
+        1, rng.uniform(mean_segment_ / 2, mean_segment_ * 3 / 2));
+    const double rate = 1.0 + rho_ * (2.0 * rng.uniform01() - 1.0);
+    Time dc = std::max<Time>(1, static_cast<Time>(
+                                    rate * static_cast<double>(dt)));
+    // Reflect off the band edges: clamp the resulting skew into [-band, band].
+    const double skew =
+        static_cast<double>((c + dc) - (t + dt));
+    if (skew > band) dc -= static_cast<Time>(skew - band);
+    if (skew < -band) dc += static_cast<Time>(-band - skew);
+    if (dc < 1) dc = 1;
+    t += dt;
+    c += dc;
+    pts.push_back({t, c});
+  }
+  return ClockTrajectory(std::move(pts), eps);
+}
+
+ClockTrajectory OpposingOffsetDrift::generate(Duration eps, Time horizon,
+                                              Rng& rng) const {
+  const double frac = rng.flip(0.5) ? 1.0 : -1.0;
+  return OffsetDrift(frac).generate(eps, horizon, rng);
+}
+
+std::vector<std::unique_ptr<DriftModel>> standard_drift_models() {
+  std::vector<std::unique_ptr<DriftModel>> out;
+  out.push_back(std::make_unique<PerfectDrift>());
+  out.push_back(std::make_unique<OffsetDrift>(+1.0));
+  out.push_back(std::make_unique<OffsetDrift>(-1.0));
+  out.push_back(std::make_unique<ZigzagDrift>(0.25));
+  out.push_back(std::make_unique<RandomDrift>(0.1, milliseconds(1)));
+  out.push_back(std::make_unique<OpposingOffsetDrift>());
+  return out;
+}
+
+}  // namespace psc

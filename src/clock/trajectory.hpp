@@ -1,0 +1,145 @@
+// Clock trajectories: executable clock components of clock automata.
+//
+// A clock automaton's clock (Def 2.3) starts at 0 (C1), increases exactly
+// when time passes (C2/C3), admits intermediate values (C4), and — for the
+// automata this library builds — stays within eps of real time (clock
+// predicate C_eps, Def 2.5).
+//
+// We realize the clock as a continuous, nondecreasing, piecewise-linear
+// function c(t) given by breakpoints, strictly increasing across segments.
+// Piecewise linearity gives axiom C4's intermediate states by construction.
+// Times live on the integer nanosecond grid; interpolation rounds down, so
+// c(t) can be flat across a few grid points inside a slow segment — the
+// executor only ever passes time in jumps where this is harmless, and
+// validate() enforces the C_eps band pointwise at breakpoints plus segment
+// analysis in between.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "util/rng.hpp"
+
+namespace psc {
+
+struct Breakpoint {
+  Time t = 0;  // real time
+  Time c = 0;  // clock value at t
+};
+
+class ClockTrajectory {
+ public:
+  // The identity clock c(t) = t (also the `now` of the timed model).
+  static ClockTrajectory perfect();
+
+  // Breakpoints must start at (0, 0), be strictly increasing in both
+  // coordinates, and stay within the eps band (checked). Beyond the last
+  // breakpoint the clock continues at rate 1.
+  ClockTrajectory(std::vector<Breakpoint> points, Duration eps);
+
+  Duration eps() const { return eps_; }
+
+  // c(t). Requires t >= 0.
+  Time clock_at(Time t) const;
+
+  // Earliest real time at which the clock reads >= c:
+  //   min { t >= 0 : clock_at(t) >= c }.
+  Time time_first_at(Time c) const;
+
+  // Latest real time at which the clock still reads <= c:
+  //   max { t >= 0 : clock_at(t) <= c }  (kTimeMax if the clock never
+  // exceeds c, which cannot happen since the final rate is 1).
+  Time time_last_at(Time c) const;
+
+  // Verifies C1 and the C_eps band over [0, horizon]; throws CheckError on
+  // violation. (C2-C4 hold by construction.)
+  void validate(Time horizon) const;
+
+  const std::vector<Breakpoint>& points() const { return points_; }
+
+ private:
+  std::vector<Breakpoint> points_;  // at least {(0,0)}
+  Duration eps_;
+};
+
+// Generators for clock behaviours within a C_eps envelope. Each model
+// produces a fresh trajectory per call (seeded via rng), so sweeps across
+// seeds explore the envelope.
+class DriftModel {
+ public:
+  explicit DriftModel(std::string name) : name_(std::move(name)) {}
+  virtual ~DriftModel() = default;
+  DriftModel(const DriftModel&) = delete;
+  DriftModel& operator=(const DriftModel&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual ClockTrajectory generate(Duration eps, Time horizon,
+                                   Rng& rng) const = 0;
+
+ private:
+  std::string name_;
+};
+
+// c(t) = t.
+class PerfectDrift final : public DriftModel {
+ public:
+  PerfectDrift() : DriftModel("perfect") {}
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+};
+
+// Ramps quickly to a fixed offset `frac * eps` (frac in [-1, 1]) and then
+// runs at rate 1. frac = +1/-1 are the extreme constant-skew adversaries.
+class OffsetDrift final : public DriftModel {
+ public:
+  explicit OffsetDrift(double frac);
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+
+ private:
+  double frac_;
+};
+
+// Zigzag between +band and -band at rates 1 +/- rho: the clock repeatedly
+// swings across the whole envelope — a hostile but legal clock. The initial
+// swing direction is drawn from rng so different nodes get out-of-phase
+// clocks (maximal inter-node skew).
+class ZigzagDrift final : public DriftModel {
+ public:
+  explicit ZigzagDrift(double rho, double band_frac = 0.9);
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+
+ private:
+  double rho_;
+  double band_frac_;
+};
+
+// Each generated clock ramps to +eps or -eps (chosen per call from rng) and
+// stays there: with several nodes this realizes the textbook worst case of
+// two clocks a full 2*eps apart — the adversary that separates algorithm S
+// from algorithm L.
+class OpposingOffsetDrift final : public DriftModel {
+ public:
+  OpposingOffsetDrift() : DriftModel("opposing-offset") {}
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+};
+
+// Random piecewise-linear drift: segment durations ~ U[min,max], rates
+// ~ U[1-rho, 1+rho], reflected off the band edges. Models an NTP-style
+// disciplined clock wandering inside its accuracy bound.
+class RandomDrift final : public DriftModel {
+ public:
+  RandomDrift(double rho, Duration mean_segment, double band_frac = 0.95);
+  ClockTrajectory generate(Duration eps, Time horizon, Rng& rng) const override;
+
+ private:
+  double rho_;
+  Duration mean_segment_;
+  double band_frac_;
+};
+
+// The standard sweep used by the benchmark harness: perfect, +eps, -eps,
+// zigzag, random. Returned pointers are owned by the returned vector.
+std::vector<std::unique_ptr<DriftModel>> standard_drift_models();
+
+}  // namespace psc

@@ -1,0 +1,51 @@
+// Actions — the alphabet of the automaton models.
+//
+// An action is identified by a name plus its parameters, exactly as in the
+// paper: READ_i, WRITE_i(v), SENDMSG_i(j, m), TICK_i(c), ... The `node`
+// subscript carries the per-node partition used by problems (Def 2.10) and
+// by the trace relations' kappa classes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/time.hpp"
+#include "core/value.hpp"
+
+namespace psc {
+
+inline constexpr int kNoNode = -1;
+
+struct Action {
+  std::string name;          // e.g. "READ", "SENDMSG"
+  int node = kNoNode;        // the subscript i (owning node), if any
+  int peer = kNoNode;        // the argument j of SENDMSG_i(j, m), if any
+  std::vector<Value> args;   // non-message parameters (v, c, t, ...)
+  std::optional<Message> msg;  // message parameter m, if any
+
+  bool operator==(const Action& o) const {
+    return name == o.name && node == o.node && peer == o.peer &&
+           args == o.args && msg == o.msg;
+  }
+
+  // Identity disregarding parameter values — used when matching "the same
+  // action" across retimed traces is needed per action occurrence.
+  bool same_kind(const Action& o) const {
+    return name == o.name && node == o.node && peer == o.peer;
+  }
+};
+
+std::string to_string(const Action& a);
+
+// --- Constructors mirroring the paper's notation -------------------------
+
+// SENDMSG_i(j, m): node i sends m toward node j.
+Action make_send(int i, int j, Message m, const char* name = "SENDMSG");
+// RECVMSG_i(j, m): node i receives m from node j.
+Action make_recv(int i, int j, Message m, const char* name = "RECVMSG");
+// Generic named action at node i with args.
+Action make_action(std::string name, int node, std::vector<Value> args = {});
+
+}  // namespace psc

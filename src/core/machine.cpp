@@ -1,0 +1,19 @@
+#include "core/machine.hpp"
+
+namespace psc {
+
+const char* to_string(ActionRole role) {
+  switch (role) {
+    case ActionRole::kInput:
+      return "input";
+    case ActionRole::kOutput:
+      return "output";
+    case ActionRole::kInternal:
+      return "internal";
+    case ActionRole::kNotMine:
+      return "not-mine";
+  }
+  return "?";
+}
+
+}  // namespace psc

@@ -1,0 +1,81 @@
+// The executable automaton interface.
+//
+// The paper's timed automata (Def 2.1) are infinite-state transition systems
+// with a time-passage action nu. We execute them in the standard IOA
+// precondition/effect style: a Machine exposes its input effects, its
+// currently-enabled locally controlled actions, and two *time bounds* that
+// encode the nu-preconditions:
+//
+//   upper_bound(t):  the largest t' to which time may advance from t without
+//                    violating any nu-precondition (urgency / axiom S5
+//                    intermediate states exist because all our bounds are
+//                    pointwise);
+//   next_enabled(t): the earliest t' > t at which some locally controlled
+//                    action (not enabled at t) becomes enabled — a
+//                    discrete-event hint that lets the executor jump.
+//
+// The same interface serves all three models. Whether the `t` parameter is
+// real time (`now`), a node-local clock value, or a simulated clock inside
+// the MMT transformation is decided by the runtime adapter driving the
+// machine — this makes epsilon-time independence (Def 2.6) structural: a
+// clock-model machine simply never sees `now`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/time.hpp"
+
+namespace psc {
+
+enum class ActionRole {
+  kInput,     // in(A): environment-controlled, always accepted
+  kOutput,    // out(A): locally controlled, visible
+  kInternal,  // int(A): locally controlled, hidden
+  kNotMine,   // not in acts(A)
+};
+
+const char* to_string(ActionRole role);
+
+class Machine {
+ public:
+  explicit Machine(std::string name) : name_(std::move(name)) {}
+  virtual ~Machine() = default;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Membership of `a` in the machine's action signature.
+  virtual ActionRole classify(const Action& a) const = 0;
+
+  // Input effect (input-enabled: must accept any action classified kInput).
+  virtual void apply_input(const Action& a, Time t) = 0;
+
+  // Locally controlled actions whose preconditions hold at time t.
+  virtual std::vector<Action> enabled(Time t) const = 0;
+
+  // Effect of a locally controlled action previously reported by enabled().
+  virtual void apply_local(const Action& a, Time t) = 0;
+
+  // nu-precondition: largest time to which time-passage is allowed.
+  // Must be >= t (a machine cannot retract the present).
+  virtual Time upper_bound(Time /*t*/) const { return kTimeMax; }
+
+  // Earliest strictly-future time at which a currently-disabled local action
+  // becomes enabled, or kTimeMax. Purely an efficiency hint; the executor
+  // re-queries enabled() after advancing.
+  virtual Time next_enabled(Time /*t*/) const { return kTimeMax; }
+
+  // The machine's clock reading at real time t, if it is driven by a clock
+  // (clock/MMT models); kNoClockTag otherwise. Used for trace metadata (the
+  // c_i(alpha) values of Section 4.3) — never for transition decisions.
+  virtual Time clock_reading(Time /*t*/) const { return kNoClockTag; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace psc

@@ -1,0 +1,28 @@
+#include "core/message.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace psc {
+
+std::uint64_t next_message_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Message make_message(std::string kind, std::vector<Value> fields) {
+  Message m;
+  m.kind = std::move(kind);
+  m.fields = std::move(fields);
+  m.uid = next_message_uid();
+  return m;
+}
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  os << m.kind << to_string(m.fields) << "#" << m.uid;
+  if (m.clock_tag != kNoClockTag) os << "@c=" << format_time(m.clock_tag);
+  return os.str();
+}
+
+}  // namespace psc

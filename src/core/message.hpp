@@ -1,0 +1,40 @@
+// Messages exchanged over edges.
+//
+// Section 3 of the paper assumes every message sent in an execution is
+// *unique*; we realize that with a per-process-wide uid. In the clock model
+// (Section 4) messages travel as pairs (m, c) where c is the sender's clock
+// at send time; `clock_tag` holds that c (kNoClockTag in the timed model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "core/value.hpp"
+
+namespace psc {
+
+inline constexpr Time kNoClockTag = -1;
+
+struct Message {
+  std::string kind;           // e.g. "UPDATE", "ELECT"
+  std::vector<Value> fields;  // algorithm-defined payload
+  std::uint64_t uid = 0;      // uniqueness (paper Section 3 assumption)
+  Time clock_tag = kNoClockTag;  // c in (m, c); set by the send buffer
+
+  bool operator==(const Message& o) const {
+    return kind == o.kind && fields == o.fields && uid == o.uid &&
+           clock_tag == o.clock_tag;
+  }
+};
+
+// Allocates process-wide unique message ids.
+std::uint64_t next_message_uid();
+
+// Builds a message with a fresh uid.
+Message make_message(std::string kind, std::vector<Value> fields = {});
+
+std::string to_string(const Message& m);
+
+}  // namespace psc

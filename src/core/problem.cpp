@@ -1,0 +1,48 @@
+#include "core/problem.hpp"
+
+namespace psc {
+
+EpsilonRelaxation::EpsilonRelaxation(const Problem& base, Duration eps,
+                                     int num_nodes)
+    : Problem(base.name() + "_eps"),
+      base_(base),
+      eps_(eps),
+      kappa_(per_node_classes(num_nodes)) {}
+
+bool EpsilonRelaxation::contains(const TimedTrace& trace) const {
+  return base_.contains(trace);  // trace =eps trace always holds
+}
+
+bool EpsilonRelaxation::contains_with_witness(const TimedTrace& trace,
+                                              const TimedTrace& witness) const {
+  return base_.contains(witness) &&
+         eq_within(witness, trace, eps_, kappa_).related;
+}
+
+RelationResult EpsilonRelaxation::explain_witness(
+    const TimedTrace& trace, const TimedTrace& witness) const {
+  if (!base_.contains(witness)) {
+    return {false, "witness not in tseq(" + base_.name() + ")"};
+  }
+  return eq_within(witness, trace, eps_, kappa_);
+}
+
+ShiftRelaxation::ShiftRelaxation(const Problem& base, Duration delta,
+                                 int num_nodes,
+                                 std::vector<std::string> output_names)
+    : Problem(base.name() + "_shift"),
+      base_(base),
+      delta_(delta),
+      klasses_(per_node_output_classes(num_nodes, std::move(output_names))) {}
+
+bool ShiftRelaxation::contains(const TimedTrace& trace) const {
+  return base_.contains(trace);
+}
+
+bool ShiftRelaxation::contains_with_witness(const TimedTrace& trace,
+                                            const TimedTrace& witness) const {
+  return base_.contains(witness) &&
+         shifted_within(witness, trace, delta_, klasses_).related;
+}
+
+}  // namespace psc

@@ -1,0 +1,100 @@
+// Problems and their perturbation generalizations (Defs 2.10 - 2.12).
+//
+// A problem P is a set of timed sequences over external actions; an
+// automaton solves P iff every admissible timed trace lies in tseq(P)
+// (Def 2.10). We represent tseq(P) by a membership predicate.
+//
+// The relaxations P_eps and P^delta quantify existentially over a *witness*
+// trace of the base problem ("there exists alpha' in tseq(P) with
+// alpha' =eps alpha"). Deciding that existential for an arbitrary predicate
+// is not computable, so the executable API is witness-based: the simulation
+// theorems (4.6, 5.1) construct the witness explicitly (gamma_alpha), and
+// callers pass it in. `contains(trace)` alone falls back to trying the trace
+// itself as its own witness (sound, incomplete), which suffices whenever the
+// base predicate is itself perturbation-closed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/relations.hpp"
+#include "core/trace.hpp"
+
+namespace psc {
+
+class Problem {
+ public:
+  explicit Problem(std::string name) : name_(std::move(name)) {}
+  virtual ~Problem() = default;
+
+  Problem(const Problem&) = delete;
+  Problem& operator=(const Problem&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // trace in tseq(P)?
+  virtual bool contains(const TimedTrace& trace) const = 0;
+
+ private:
+  std::string name_;
+};
+
+// A problem given directly by a predicate.
+class PredicateProblem : public Problem {
+ public:
+  using Pred = std::function<bool(const TimedTrace&)>;
+  PredicateProblem(std::string name, Pred pred)
+      : Problem(std::move(name)), pred_(std::move(pred)) {}
+
+  bool contains(const TimedTrace& trace) const override {
+    return pred_(trace);
+  }
+
+ private:
+  Pred pred_;
+};
+
+// P_eps (Def 2.11): kappa is one class per node over all of that node's
+// actions.
+class EpsilonRelaxation : public Problem {
+ public:
+  EpsilonRelaxation(const Problem& base, Duration eps, int num_nodes);
+
+  // Sound, incomplete: tries `trace` as its own witness.
+  bool contains(const TimedTrace& trace) const override;
+
+  // Exact membership given a witness: witness in tseq(base) and
+  // witness =eps,kappa trace.
+  bool contains_with_witness(const TimedTrace& trace,
+                             const TimedTrace& witness) const;
+  RelationResult explain_witness(const TimedTrace& trace,
+                                 const TimedTrace& witness) const;
+
+  Duration eps() const { return eps_; }
+
+ private:
+  const Problem& base_;
+  Duration eps_;
+  std::vector<ActionClass> kappa_;
+};
+
+// P^delta (Def 2.12): K is one class per node over that node's *outputs*.
+class ShiftRelaxation : public Problem {
+ public:
+  ShiftRelaxation(const Problem& base, Duration delta, int num_nodes,
+                  std::vector<std::string> output_names);
+
+  bool contains(const TimedTrace& trace) const override;
+  bool contains_with_witness(const TimedTrace& trace,
+                             const TimedTrace& witness) const;
+
+  Duration delta() const { return delta_; }
+
+ private:
+  const Problem& base_;
+  Duration delta_;
+  std::vector<ActionClass> klasses_;
+};
+
+}  // namespace psc

@@ -1,0 +1,59 @@
+// The trace relations of Section 2.3.
+//
+//   =eps,kappa (Def 2.8): a bijection matching equal actions, preserving the
+//     relative order of actions within each class of kappa, and perturbing
+//     each action's time by at most eps.
+//   <=delta,K (Def 2.9): actions in a class of K may shift up to delta into
+//     the future (order within the class preserved); all other actions keep
+//     their exact time and relative order.
+//
+// Both relations are decided in O(n log n):
+//  * restricted to one class, the order-preservation clause forces the
+//    bijection to match the j-th class action of one trace with the j-th of
+//    the other (a strictly monotone bijection between equal-length sequences
+//    is positional), so classed actions are checked positionally;
+//  * unclassed actions in =eps,kappa are only constrained by action equality
+//    and |t - t'| <= eps; grouping by action identity and pairing each
+//    group's occurrences in time order is optimal (standard exchange
+//    argument on interval bipartite matchings).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace psc {
+
+// A class of actions: membership predicate. Classes in one relation call
+// must be pairwise disjoint on the actions that actually occur.
+using ActionClass = std::function<bool(const Action&)>;
+
+struct RelationResult {
+  bool related = false;
+  std::string why;  // empty when related; first failure otherwise
+
+  explicit operator bool() const { return related; }
+};
+
+// alpha1 =eps,kappa alpha2.
+RelationResult eq_within(const TimedTrace& alpha1, const TimedTrace& alpha2,
+                         Duration eps, const std::vector<ActionClass>& kappa);
+
+// alpha1 <=delta,K alpha2 (alpha2 is alpha1 with class actions shifted into
+// the future by at most delta).
+RelationResult shifted_within(const TimedTrace& alpha1,
+                              const TimedTrace& alpha2, Duration delta,
+                              const std::vector<ActionClass>& klasses);
+
+// kappa used throughout Section 4: one class per node, containing every
+// action subscripted by that node (uacts(A_i)).
+std::vector<ActionClass> per_node_classes(int num_nodes);
+
+// K used by Def 2.12: one class per node containing that node's *output*
+// actions, identified by name.
+std::vector<ActionClass> per_node_output_classes(
+    int num_nodes, std::vector<std::string> output_names);
+
+}  // namespace psc

@@ -1,0 +1,28 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace psc {
+
+std::string format_time(Time t) {
+  if (t >= kTimeMax) return "inf";
+  const bool neg = t < 0;
+  std::int64_t v = neg ? -t : t;
+  const char* unit = "ns";
+  double scaled = static_cast<double>(v);
+  if (v >= 1'000'000'000) {
+    scaled = static_cast<double>(v) / 1e9;
+    unit = "s";
+  } else if (v >= 1'000'000) {
+    scaled = static_cast<double>(v) / 1e6;
+    unit = "ms";
+  } else if (v >= 1'000) {
+    scaled = static_cast<double>(v) / 1e3;
+    unit = "us";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%.6g%s", neg ? "-" : "", scaled, unit);
+  return buf;
+}
+
+}  // namespace psc

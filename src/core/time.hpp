@@ -1,0 +1,42 @@
+// The time domain of the library.
+//
+// The paper's models use nonnegative reals. We use 64-bit integer
+// *nanoseconds* instead: several of the paper's preconditions are exact
+// equalities on times (e.g. algorithm S fires UPDATE when
+// `r.update-time = now`, the send buffer fires when `c = clock`), so the time
+// domain must support exact arithmetic. Any rational-time execution can be
+// scaled into this grid; 1 ns is also the default value of the paper's
+// "arbitrarily small" delay delta.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace psc {
+
+using Time = std::int64_t;      // absolute time, ns since execution start
+using Duration = std::int64_t;  // signed difference of Times, ns
+
+// "No constraint" sentinel for deadlines/urgency bounds. Kept well away from
+// the int64 limit so bounded arithmetic (t + d) cannot overflow.
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max() / 4;
+
+// Unit helpers.
+constexpr Duration nanoseconds(std::int64_t v) { return v; }
+constexpr Duration microseconds(std::int64_t v) { return v * 1'000; }
+constexpr Duration milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr Duration seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+// Saturating addition: kTimeMax is absorbing, so deadline arithmetic on
+// unconstrained bounds stays unconstrained.
+constexpr Time time_add(Time t, Duration d) {
+  if (t >= kTimeMax) return kTimeMax;
+  const Time r = t + d;
+  return r >= kTimeMax ? kTimeMax : r;
+}
+
+// Human-readable rendering ("1.5ms", "250ns", "inf").
+std::string format_time(Time t);
+
+}  // namespace psc

@@ -1,0 +1,212 @@
+#include "core/trace_io.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+namespace {
+
+// Escapes spaces/backslashes/colons in strings so tokens stay whitespace-
+// separated and field-separators unambiguous.
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    switch (ch) {
+      case ' ':
+        out += "\\_";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case ':':
+        out += "\\;";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    PSC_CHECK(i + 1 < s.size(), "dangling escape in trace text");
+    switch (s[++i]) {
+      case '_':
+        out += ' ';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case ';':
+        out += ':';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        PSC_CHECK(false, "unknown escape \\" << s[i]);
+    }
+  }
+  return out;
+}
+
+void write_value(std::ostream& os, const Value& v) {
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << " u:";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          os << " a:" << x;
+        } else if constexpr (std::is_same_v<T, double>) {
+          os << " f:" << x;
+        } else {
+          os << " s:" << escape(x);
+        }
+      },
+      v);
+}
+
+Value parse_value(const std::string& tok) {
+  PSC_CHECK(tok.size() >= 2 && tok[1] == ':', "bad value token " << tok);
+  const std::string body = tok.substr(2);
+  switch (tok[0]) {
+    case 'u':
+      return Value{};
+    case 'a':
+      return Value{static_cast<std::int64_t>(std::stoll(body))};
+    case 'f':
+      return Value{std::stod(body)};
+    case 's':
+      return Value{unescape(body)};
+    default:
+      PSC_CHECK(false, "unknown value tag in " << tok);
+  }
+  return Value{};
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const TimedTrace& trace) {
+  for (const auto& e : trace) {
+    os << e.time << ' ';
+    if (e.clock == kNoClockTag) {
+      os << "- ";
+    } else {
+      os << e.clock << ' ';
+    }
+    if (e.owner < 0) {
+      os << "- ";
+    } else {
+      os << e.owner << ' ';
+    }
+    os << (e.visible ? 'V' : 'H') << ' ' << escape(e.action.name) << ' ';
+    if (e.action.node == kNoNode) {
+      os << "- ";
+    } else {
+      os << e.action.node << ' ';
+    }
+    if (e.action.peer == kNoNode) {
+      os << '-';
+    } else {
+      os << e.action.peer;
+    }
+    for (const auto& v : e.action.args) write_value(os, v);
+    if (e.action.msg) {
+      const auto& m = *e.action.msg;
+      os << " m:" << escape(m.kind) << ':' << m.uid << ':';
+      if (m.clock_tag == kNoClockTag) {
+        os << '-';
+      } else {
+        os << m.clock_tag;
+      }
+      for (const auto& f : m.fields) {
+        os << ':';
+        std::ostringstream tmp;
+        write_value(tmp, f);
+        os << escape(tmp.str().substr(1));  // drop the leading space
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string trace_to_text(const TimedTrace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+TimedTrace read_trace(std::istream& is) {
+  TimedTrace out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TimedEvent e;
+    std::string tok;
+    ls >> tok;
+    e.time = std::stoll(tok);
+    ls >> tok;
+    e.clock = tok == "-" ? kNoClockTag : std::stoll(tok);
+    ls >> tok;
+    e.owner = tok == "-" ? -1 : std::stoi(tok);
+    ls >> tok;
+    PSC_CHECK(tok == "V" || tok == "H", "bad visibility " << tok);
+    e.visible = tok == "V";
+    ls >> tok;
+    e.action.name = unescape(tok);
+    ls >> tok;
+    e.action.node = tok == "-" ? kNoNode : std::stoi(tok);
+    ls >> tok;
+    e.action.peer = tok == "-" ? kNoNode : std::stoi(tok);
+    while (ls >> tok) {
+      if (tok.rfind("m:", 0) == 0) {
+        // m:<kind>:<uid>:<tag|->[:field...]
+        std::vector<std::string> parts;
+        std::string cur;
+        // escape() replaced every literal ':' with "\\;", so every ':'
+        // remaining in the token is a separator.
+        for (std::size_t i = 2; i <= tok.size(); ++i) {
+          if (i == tok.size() || tok[i] == ':') {
+            parts.push_back(cur);
+            cur.clear();
+          } else {
+            cur += tok[i];
+          }
+        }
+        PSC_CHECK(parts.size() >= 3, "bad message token " << tok);
+        Message m;
+        m.kind = unescape(parts[0]);
+        m.uid = std::stoull(parts[1]);
+        m.clock_tag = parts[2] == "-" ? kNoClockTag : std::stoll(parts[2]);
+        for (std::size_t k = 3; k < parts.size(); ++k) {
+          m.fields.push_back(parse_value(unescape(parts[k])));
+        }
+        e.action.msg = std::move(m);
+      } else {
+        e.action.args.push_back(parse_value(tok));
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TimedTrace trace_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace psc

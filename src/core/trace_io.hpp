@@ -1,0 +1,27 @@
+// Plain-text serialization for timed traces.
+//
+// One event per line:
+//   <time_ns> <clock_ns|-> <owner|-> <V|H> <name> <node|-> <peer|->
+//       [a:<int>|f:<float>|s:<string>]* [m:<kind>:<uid>:<tag|->[:fields...]]
+// (the value/message tokens continue the same line)
+//
+// Round-trips everything the analyses need (times, clocks, visibility,
+// action identity and payloads, message identity). Used to persist bench
+// traces for offline inspection and in golden tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace psc {
+
+void write_trace(std::ostream& os, const TimedTrace& trace);
+std::string trace_to_text(const TimedTrace& trace);
+
+// Parses what write_trace produced; throws CheckError on malformed input.
+TimedTrace read_trace(std::istream& is);
+TimedTrace trace_from_text(const std::string& text);
+
+}  // namespace psc

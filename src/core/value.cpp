@@ -1,0 +1,55 @@
+#include "core/value.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << "()";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '"' << x << '"';
+        } else {
+          os << x;
+        }
+      },
+      v);
+  return os.str();
+}
+
+std::string to_string(const std::vector<Value>& vs) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) os << ", ";
+    os << to_string(vs[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::int64_t as_int(const Value& v) {
+  PSC_CHECK(std::holds_alternative<std::int64_t>(v),
+            "value is not int: " << to_string(v));
+  return std::get<std::int64_t>(v);
+}
+
+double as_double(const Value& v) {
+  PSC_CHECK(std::holds_alternative<double>(v),
+            "value is not double: " << to_string(v));
+  return std::get<double>(v);
+}
+
+const std::string& as_string(const Value& v) {
+  PSC_CHECK(std::holds_alternative<std::string>(v),
+            "value is not string: " << to_string(v));
+  return std::get<std::string>(v);
+}
+
+}  // namespace psc

@@ -1,0 +1,23 @@
+// Payload values carried by actions and messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace psc {
+
+// A small closed sum type: enough to express every payload in the paper's
+// algorithms (register values, times, node ids) without type erasure.
+using Value = std::variant<std::monostate, std::int64_t, double, std::string>;
+
+std::string to_string(const Value& v);
+std::string to_string(const std::vector<Value>& vs);
+
+// Convenience accessors; PSC_CHECK-fail on type mismatch.
+std::int64_t as_int(const Value& v);
+double as_double(const Value& v);
+const std::string& as_string(const Value& v);
+
+}  // namespace psc

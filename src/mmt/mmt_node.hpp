@@ -1,0 +1,89 @@
+// The transformation M(A^c_{i,eps}, ell) of Definition 5.1.
+//
+// Wraps a *clock-time* machine (the node composite C(A_i,eps) x S x R of
+// Simulation 1, or any epsilon-time-independent clock machine) into an MMT
+// node:
+//
+//   simstate / simclock   the wrapped machine and the clock value its
+//                         simulation has reached;
+//   mmtclock              the last TICK value received (clock values between
+//                         ticks are *missed*);
+//   pending               queue of output actions the simulation has
+//                         produced but the node has not yet performed.
+//
+// Definition 5.1's derived "frag" — an execution fragment of the clock
+// machine from simstate to clock = mmtclock — is computed operationally by
+// catch_up(): repeatedly apply the wrapped machine's enabled local actions
+// and advance its clock to the next enabling point, until mmtclock is
+// reached; outputs encountered are appended to pending.
+//
+// The node's single task class (all outputs + tau) has boundmap [0, ell]:
+// a seeded adversary chooses each step time within the budget. At a step,
+// the first pending output is emitted (its effect on the simulated state
+// already happened during catch-up — only its external occurrence was
+// delayed); with an empty queue the step is the internal tau, which still
+// catches up. Inputs are applied immediately (the MMT model places no
+// timing constraint on inputs): catch up first, then apply (Def 5.1's input
+// case uses fragstate).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/machine.hpp"
+#include "util/rng.hpp"
+
+namespace psc {
+
+struct MmtNodeStats {
+  std::size_t steps = 0;           // class firings (outputs + taus)
+  std::size_t outputs = 0;         // emitted pending outputs
+  std::size_t max_pending = 0;     // high-water mark of the pending queue
+  Duration max_emit_delay = 0;     // max (emission time - enqueue time)
+};
+
+class MmtNode final : public Machine {
+ public:
+  // `inner` is driven purely by clock values (epsilon-time independent by
+  // construction). min_gap_frac as in TickSource.
+  MmtNode(int node, std::unique_ptr<Machine> inner, Duration ell, Rng rng,
+          double min_gap_frac = 0.25);
+
+  const MmtNodeStats& stats() const { return stats_; }
+  Machine& inner() { return *inner_; }
+  Time simclock() const { return simclock_; }
+  Time mmtclock() const { return mmtclock_; }
+
+  ActionRole classify(const Action& a) const override;
+  void apply_input(const Action& a, Time t) override;
+  std::vector<Action> enabled(Time t) const override;
+  void apply_local(const Action& a, Time t) override;
+  Time upper_bound(Time t) const override;
+  Time next_enabled(Time t) const override;
+  Time clock_reading(Time t) const override;
+
+ private:
+  struct PendingOutput {
+    Action action;
+    Time enqueued_at;  // real time of the catch-up that produced it
+  };
+
+  // Advances the wrapped machine's clock to mmtclock, applying its urgent
+  // local actions; outputs are appended to pending. `t` is the real time
+  // (for stats only).
+  void catch_up(Time t);
+  Duration draw_gap();
+
+  int node_;
+  std::unique_ptr<Machine> inner_;
+  Duration ell_;
+  Rng rng_;
+  double min_gap_frac_;
+  Time simclock_ = 0;
+  Time mmtclock_ = 0;
+  Time next_step_;
+  std::deque<PendingOutput> pending_;
+  MmtNodeStats stats_;
+};
+
+}  // namespace psc

@@ -1,0 +1,48 @@
+#include "mmt/mmt_system.hpp"
+
+#include "transform/clock_system.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+
+MmtSystemHandles add_mmt_system(
+    Executor& exec, const Graph& graph, const ChannelConfig& channels,
+    std::vector<std::unique_ptr<Machine>> algorithms,
+    std::vector<std::shared_ptr<const ClockTrajectory>> trajectories,
+    const MmtConfig& mmt) {
+  PSC_CHECK(static_cast<int>(algorithms.size()) == graph.n,
+            "need one algorithm per node");
+  PSC_CHECK(trajectories.size() == algorithms.size(),
+            "need one trajectory per node");
+  MmtSystemHandles handles;
+  Rng seeder(mmt.seed ^ 0x1337);
+  for (int i = 0; i < graph.n; ++i) {
+    auto composite =
+        make_node_composite(std::move(algorithms[static_cast<size_t>(i)]), i,
+                            graph.out_peers(i), graph.in_peers(i));
+    auto node = std::make_unique<MmtNode>(i, std::move(composite), mmt.ell,
+                                          seeder.split(), mmt.min_gap_frac);
+    auto tick = std::make_unique<TickSource>(
+        i, trajectories[static_cast<size_t>(i)], mmt.ell, seeder.split(),
+        mmt.min_gap_frac);
+    handles.nodes.push_back(node.get());
+    handles.ticks.push_back(tick.get());
+    exec.add_owned(std::move(node));
+    exec.add_owned(std::move(tick));
+  }
+  Rng ch_seeder(channels.seed);
+  for (const auto& [i, j] : graph.edges) {
+    auto ch = std::make_unique<Channel>(i, j, channels.d1, channels.d2,
+                                        channels.policy(), ch_seeder.split(),
+                                        "ESENDMSG", "ERECVMSG");
+    handles.channels.push_back(ch.get());
+    exec.add_owned(std::move(ch));
+  }
+  exec.hide("ESENDMSG");
+  exec.hide("ERECVMSG");
+  exec.hide("TICK");
+  exec.hide("MMTSTEP");
+  return handles;
+}
+
+}  // namespace psc

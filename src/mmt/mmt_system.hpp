@@ -1,0 +1,54 @@
+// Simulation 2 assembly: the MMT-model system D_M(G, A^m_{eps,ell}, E^m)
+// of Section 5.
+//
+// Each node i becomes
+//   M( C(A_i,eps) x S_{ij,eps} x R_{ji,eps} , ell )   +   C^m_{i,eps,ell}
+// i.e. the Theorem 5.2 composition of both simulations: the timed-model
+// algorithm is clockified with buffers (Simulation 1's node composite) and
+// then run under the MMT transformation fed by a TICK source. Edges are the
+// clock-model channels (E^m = E^c, Section 5.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clock/trajectory.hpp"
+#include "mmt/mmt_node.hpp"
+#include "mmt/tick_source.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+
+namespace psc {
+
+struct MmtSystemHandles {
+  std::vector<MmtNode*> nodes;
+  std::vector<TickSource*> ticks;
+  std::vector<Channel*> channels;
+};
+
+struct MmtConfig {
+  Duration ell = 0;           // step / tick bound [0, ell]
+  double min_gap_frac = 0.25; // adversary's lower bound on gaps, as a
+                              // fraction of ell
+  std::uint64_t seed = 1;
+};
+
+// `algorithms[i]` is the *timed-model* machine for node i (as for
+// add_clock_system); it is pushed through both transformations.
+MmtSystemHandles add_mmt_system(
+    Executor& exec, const Graph& graph, const ChannelConfig& channels,
+    std::vector<std::unique_ptr<Machine>> algorithms,
+    std::vector<std::shared_ptr<const ClockTrajectory>> trajectories,
+    const MmtConfig& mmt);
+
+// Theorem 5.1/5.2 bounds.
+// Output shift bound of Simulation 2: k*ell + 2*eps + 3*ell.
+constexpr Duration mmt_shift_bound(int k, Duration ell, Duration eps) {
+  return k * ell + 2 * eps + 3 * ell;
+}
+// Design-time max delay for Theorem 5.2: d2' = d2 + 2*eps + k*ell.
+constexpr Duration mmt_d2(Duration d2, Duration eps, int k, Duration ell) {
+  return d2 + 2 * eps + k * ell;
+}
+
+}  // namespace psc

@@ -1,0 +1,57 @@
+#include "runtime/clocked.hpp"
+
+#include "util/check.hpp"
+
+namespace psc {
+
+ClockedMachine::ClockedMachine(std::unique_ptr<Machine> inner,
+                               std::shared_ptr<const ClockTrajectory> traj)
+    : Machine("C(" + inner->name() + ")"),
+      inner_(std::move(inner)),
+      traj_(std::move(traj)) {
+  PSC_CHECK(inner_ != nullptr, "null inner machine");
+  PSC_CHECK(traj_ != nullptr, "null trajectory");
+}
+
+ActionRole ClockedMachine::classify(const Action& a) const {
+  return inner_->classify(a);
+}
+
+void ClockedMachine::apply_input(const Action& a, Time t) {
+  inner_->apply_input(a, traj_->clock_at(t));
+}
+
+std::vector<Action> ClockedMachine::enabled(Time t) const {
+  return inner_->enabled(traj_->clock_at(t));
+}
+
+void ClockedMachine::apply_local(const Action& a, Time t) {
+  inner_->apply_local(a, traj_->clock_at(t));
+}
+
+Time ClockedMachine::upper_bound(Time t) const {
+  const Time cub = inner_->upper_bound(traj_->clock_at(t));
+  if (cub >= kTimeMax) return kTimeMax;
+  Time ub = traj_->time_last_at(cub);
+  // A rate>1 segment of the integer-grid trajectory may skip the exact
+  // clock value cub; in the continuous model time could advance exactly to
+  // it. Permit the first overshoot instant — machines fire on >= deadlines,
+  // so the pending action executes there before time moves again.
+  if (traj_->clock_at(ub) < cub) ub += 1;
+  return ub < t ? t : ub;
+}
+
+Time ClockedMachine::next_enabled(Time t) const {
+  const Time cne = inner_->next_enabled(traj_->clock_at(t));
+  if (cne >= kTimeMax) return kTimeMax;
+  const Time tn = traj_->time_first_at(cne);
+  // The clock can sit on one value across a rounding plateau; the inner
+  // machine's hint is in clock time, so re-anchor strictly after t.
+  return tn > t ? tn : t + 1;
+}
+
+Time ClockedMachine::clock_reading(Time t) const {
+  return traj_->clock_at(t);
+}
+
+}  // namespace psc

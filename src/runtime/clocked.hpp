@@ -1,0 +1,48 @@
+// ClockedMachine: drives a clock-time machine from a real-time executor.
+//
+// This is the executable form of the transformation C(A_i, eps) (Def 4.1):
+// the wrapped machine was written against a time parameter it believes is
+// `now`; the adapter feeds it the node clock c(t) instead. Because the
+// wrapped machine literally cannot observe `now`, epsilon-time independence
+// (Def 2.6) holds by construction, and the wrapped machine's transition
+// structure is untouched — exactly the paper's construction, where
+// trans(C(A_i,eps)) is trans(A_i) with `now` re-interpreted as `clock`.
+//
+// Deadline translation: a clock-time urgency bound cub becomes the last real
+// time at which the clock still reads <= cub; a clock-time enabling hint cne
+// becomes the first real time at which the clock reads >= cne.
+#pragma once
+
+#include <memory>
+
+#include "clock/trajectory.hpp"
+#include "core/machine.hpp"
+
+namespace psc {
+
+class ClockedMachine final : public Machine {
+ public:
+  // The trajectory is shared by reference: all parts of one node (and that
+  // node's TickSource in the MMT model) observe the same clock (Def 2.7's
+  // global clock component).
+  ClockedMachine(std::unique_ptr<Machine> inner,
+                 std::shared_ptr<const ClockTrajectory> trajectory);
+
+  Machine& inner() { return *inner_; }
+  const Machine& inner() const { return *inner_; }
+  const ClockTrajectory& trajectory() const { return *traj_; }
+
+  ActionRole classify(const Action& a) const override;
+  void apply_input(const Action& a, Time t) override;
+  std::vector<Action> enabled(Time t) const override;
+  void apply_local(const Action& a, Time t) override;
+  Time upper_bound(Time t) const override;
+  Time next_enabled(Time t) const override;
+  Time clock_reading(Time t) const override;
+
+ private:
+  std::unique_ptr<Machine> inner_;
+  std::shared_ptr<const ClockTrajectory> traj_;
+};
+
+}  // namespace psc

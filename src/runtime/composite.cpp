@@ -1,0 +1,108 @@
+#include "runtime/composite.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+CompositeMachine::CompositeMachine(std::string name)
+    : Machine(std::move(name)) {}
+
+void CompositeMachine::add(std::unique_ptr<Machine> member) {
+  PSC_CHECK(member != nullptr, "null member");
+  members_.push_back(std::move(member));
+}
+
+void CompositeMachine::hide(const std::string& action_name) {
+  hidden_.insert(action_name);
+}
+
+Machine& CompositeMachine::member(std::size_t idx) {
+  PSC_CHECK(idx < members_.size(), "member index " << idx);
+  return *members_[idx];
+}
+
+const Machine& CompositeMachine::member(std::size_t idx) const {
+  PSC_CHECK(idx < members_.size(), "member index " << idx);
+  return *members_[idx];
+}
+
+ActionRole CompositeMachine::classify(const Action& a) const {
+  bool any_input = false;
+  bool any_local = false;
+  for (const auto& m : members_) {
+    switch (m->classify(a)) {
+      case ActionRole::kOutput:
+      case ActionRole::kInternal:
+        PSC_CHECK(!any_local, "action " << to_string(a)
+                                        << " locally controlled by two "
+                                           "members of " << name());
+        any_local = true;
+        break;
+      case ActionRole::kInput:
+        any_input = true;
+        break;
+      case ActionRole::kNotMine:
+        break;
+    }
+  }
+  if (any_local) {
+    return hidden_.count(a.name) ? ActionRole::kInternal : ActionRole::kOutput;
+  }
+  if (any_input) return ActionRole::kInput;
+  return ActionRole::kNotMine;
+}
+
+void CompositeMachine::apply_input(const Action& a, Time t) {
+  for (const auto& m : members_) {
+    if (m->classify(a) == ActionRole::kInput) m->apply_input(a, t);
+  }
+}
+
+std::vector<Action> CompositeMachine::enabled(Time t) const {
+  std::vector<Action> out;
+  for (const auto& m : members_) {
+    auto acts = m->enabled(t);
+    out.insert(out.end(), std::make_move_iterator(acts.begin()),
+               std::make_move_iterator(acts.end()));
+  }
+  return out;
+}
+
+void CompositeMachine::apply_local(const Action& a, Time t) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const ActionRole r = members_[i]->classify(a);
+    if (r == ActionRole::kOutput || r == ActionRole::kInternal) {
+      members_[i]->apply_local(a, t);
+      if (r == ActionRole::kOutput) route_internally(i, a, t);
+      return;
+    }
+  }
+  PSC_CHECK(false, "no member of " << name() << " controls "
+                                   << to_string(a));
+}
+
+void CompositeMachine::route_internally(std::size_t owner, const Action& a,
+                                        Time t) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == owner) continue;
+    if (members_[i]->classify(a) == ActionRole::kInput) {
+      members_[i]->apply_input(a, t);
+    }
+  }
+}
+
+Time CompositeMachine::upper_bound(Time t) const {
+  Time ub = kTimeMax;
+  for (const auto& m : members_) ub = std::min(ub, m->upper_bound(t));
+  return ub;
+}
+
+Time CompositeMachine::next_enabled(Time t) const {
+  Time ne = kTimeMax;
+  for (const auto& m : members_) ne = std::min(ne, m->next_enabled(t));
+  return ne;
+}
+
+}  // namespace psc

@@ -1,0 +1,55 @@
+// CompositeMachine: composition + hiding packaged as a single Machine.
+//
+// Used to assemble a *node* out of parts that share one notion of time —
+// exactly the clock-automaton composition of Def 2.7 (the clock is a global
+// component of the composed automaton: every member is driven by the same
+// time parameter the composite receives). The Section 4.2 node
+//   A^c_{i,eps} = C(A_i,eps) x S_{ij,eps} x R_{ji,eps}  \ {SENDMSG, RECVMSG}
+// is a CompositeMachine of three members with the two internal interfaces
+// hidden.
+//
+// Actions hidden inside the composite are routed between members but
+// reported as internal to the outside; all other member outputs are
+// composite outputs (and are *also* routed internally if another member
+// inputs them).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace psc {
+
+class CompositeMachine : public Machine {
+ public:
+  explicit CompositeMachine(std::string name);
+
+  // Members are applied in the order added. The composite owns them.
+  void add(std::unique_ptr<Machine> member);
+  // Hide an action name inside the composite (output -> internal).
+  void hide(const std::string& action_name);
+
+  // Access to members for inspection in tests (index = add order).
+  Machine& member(std::size_t idx);
+  const Machine& member(std::size_t idx) const;
+  std::size_t size() const { return members_.size(); }
+
+  ActionRole classify(const Action& a) const override;
+  void apply_input(const Action& a, Time t) override;
+  std::vector<Action> enabled(Time t) const override;
+  void apply_local(const Action& a, Time t) override;
+  Time upper_bound(Time t) const override;
+  Time next_enabled(Time t) const override;
+
+ private:
+  // Routes an already-applied local action of member `owner` to other
+  // members that input it.
+  void route_internally(std::size_t owner, const Action& a, Time t);
+
+  std::vector<std::unique_ptr<Machine>> members_;
+  std::unordered_set<std::string> hidden_;
+};
+
+}  // namespace psc

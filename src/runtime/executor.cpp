@@ -1,0 +1,133 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+Executor::Executor(ExecutorOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Executor::~Executor() = default;
+
+void Executor::add(Machine* machine) {
+  PSC_CHECK(machine != nullptr, "null machine");
+  machines_.push_back(machine);
+}
+
+void Executor::add_owned(std::unique_ptr<Machine> machine) {
+  add(machine.get());
+  owned_.push_back(std::move(machine));
+}
+
+void Executor::hide(const std::string& action_name) {
+  hidden_.insert(action_name);
+}
+
+void Executor::stop_when(std::function<bool()> predicate) {
+  stop_when_ = std::move(predicate);
+}
+
+std::vector<Executor::Candidate> Executor::gather_enabled() const {
+  std::vector<Candidate> out;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    for (auto& a : machines_[m]->enabled(now_)) {
+      out.push_back({m, std::move(a)});
+    }
+  }
+  return out;
+}
+
+void Executor::execute(const Candidate& c) {
+  Machine* owner = machines_[c.machine];
+  const ActionRole role = owner->classify(c.action);
+  PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
+            "machine " << owner->name() << " enabled non-local action "
+                       << to_string(c.action));
+  owner->apply_local(c.action, now_);
+  if (role == ActionRole::kOutput) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (m == c.machine) continue;
+      Machine* other = machines_[m];
+      const ActionRole r = other->classify(c.action);
+      PSC_CHECK(r != ActionRole::kOutput && r != ActionRole::kInternal,
+                "action " << to_string(c.action)
+                          << " is locally controlled by both "
+                          << owner->name() << " and " << other->name()
+                          << " (incompatible composition)");
+      if (r == ActionRole::kInput) other->apply_input(c.action, now_);
+    }
+  }
+  if (options_.record_events) {
+    TimedEvent e;
+    e.action = c.action;
+    e.time = now_;
+    e.clock = owner->clock_reading(now_);
+    e.owner = static_cast<int>(c.machine);
+    e.visible = role == ActionRole::kOutput &&
+                hidden_.find(c.action.name) == hidden_.end();
+    events_.push_back(std::move(e));
+  }
+  ++steps_;
+}
+
+bool Executor::advance_time() {
+  Time next = kTimeMax;
+  Time ub = kTimeMax;
+  for (const Machine* m : machines_) {
+    const Time ne = m->next_enabled(now_);
+    PSC_CHECK(ne > now_ || ne == kTimeMax,
+              "machine " << m->name() << " reported next_enabled "
+                         << format_time(ne) << " not after now "
+                         << format_time(now_));
+    next = std::min(next, ne);
+    const Time b = m->upper_bound(now_);
+    PSC_CHECK(b >= now_, "machine " << m->name()
+                                    << " upper_bound in the past: "
+                                    << format_time(b) << " < "
+                                    << format_time(now_));
+    ub = std::min(ub, b);
+  }
+  if (next >= kTimeMax) {
+    quiesced_ = true;
+    return false;  // nothing will ever enable again
+  }
+  if (next > options_.horizon) {
+    return false;  // future work exists but lies beyond the horizon
+  }
+  // Urgency consistency: if a machine forbids time passing some bound but
+  // nothing becomes enabled by then, the composition is deadlocked — a bug
+  // in the model under test, so fail loudly.
+  PSC_CHECK(next <= ub,
+            "time deadlock: next enabling at "
+                << format_time(next) << " but an upper bound stops time at "
+                << format_time(ub));
+  now_ = next;
+  return true;
+}
+
+ExecutorReport Executor::run() {
+  while (steps_ < options_.max_events) {
+    if (stop_when_ && stop_when_()) break;
+    auto candidates = gather_enabled();
+    if (!candidates.empty()) {
+      const std::size_t pick = candidates.size() == 1
+                                   ? 0
+                                   : rng_.index(candidates.size());
+      execute(candidates[pick]);
+      continue;
+    }
+    if (!advance_time()) break;
+  }
+  PSC_CHECK(steps_ < options_.max_events,
+            "event cap " << options_.max_events
+                         << " reached — runaway execution?");
+  ExecutorReport r;
+  r.end_time = now_;
+  r.steps = steps_;
+  r.quiesced = quiesced_;
+  return r;
+}
+
+}  // namespace psc

@@ -1,0 +1,96 @@
+// The discrete-event executor: runs a composition of Machines.
+//
+// This realizes timed-automaton composition (Def 2.2) operationally:
+//  * all machines share `now`;
+//  * a locally controlled action of one machine is applied simultaneously
+//    as an input to every machine whose signature contains it (axiom S2:
+//    non-time actions do not advance now);
+//  * time passes (nu) only when no machine has an enabled local action, by
+//    the largest jump allowed by every machine's nu-precondition
+//    (upper_bound) that reaches the next machine's next_enabled hint.
+//
+// Nondeterministic choice among simultaneously enabled actions is resolved
+// by a seeded adversary (uniform random by default), so runs are
+// reproducible and sweepable across seeds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/trace.hpp"
+#include "util/rng.hpp"
+
+namespace psc {
+
+struct ExecutorOptions {
+  Time horizon = seconds(1);       // stop once now would exceed this
+  std::uint64_t seed = 1;          // adversary seed (tie-breaking)
+  std::size_t max_events = 10'000'000;  // runaway guard
+  bool record_events = true;
+};
+
+struct ExecutorReport {
+  Time end_time = 0;
+  std::size_t steps = 0;
+  bool quiesced = false;  // no machine had pending future work at the end
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Machines participate in the composition. Non-owning add is for machines
+  // the caller wants to inspect after the run; owned machines are destroyed
+  // with the executor.
+  void add(Machine* machine);
+  void add_owned(std::unique_ptr<Machine> machine);
+
+  // Hiding operator: outputs with this action name are recorded as
+  // invisible (they still drive inputs — hiding only reclassifies
+  // output -> internal).
+  void hide(const std::string& action_name);
+
+  // Optional early-stop condition, checked between events. Needed for
+  // systems that never quiesce on their own (the MMT model's tick/step
+  // machinery fires every <= ell forever): stop once the workload is done.
+  void stop_when(std::function<bool()> predicate);
+
+  // Runs until the horizon, quiescence, or the event cap.
+  ExecutorReport run();
+
+  Time now() const { return now_; }
+  const TimedTrace& events() const { return events_; }
+  TimedTrace trace() const { return visible_trace(events_); }
+
+ private:
+  struct Candidate {
+    std::size_t machine;
+    Action action;
+  };
+
+  std::vector<Candidate> gather_enabled() const;
+  void execute(const Candidate& c);
+  // Returns false when no further progress is possible before the horizon.
+  bool advance_time();
+
+  ExecutorOptions options_;
+  Rng rng_;
+  std::vector<Machine*> machines_;
+  std::vector<std::unique_ptr<Machine>> owned_;
+  std::unordered_set<std::string> hidden_;
+  std::function<bool()> stop_when_;
+  Time now_ = 0;
+  std::size_t steps_ = 0;
+  bool quiesced_ = false;
+  TimedTrace events_;
+};
+
+}  // namespace psc

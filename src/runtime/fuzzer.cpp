@@ -1,0 +1,92 @@
+#include "runtime/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+MachineFuzzer::MachineFuzzer(Machine& machine, std::uint64_t seed)
+    : machine_(machine), rng_(seed) {}
+
+FuzzReport MachineFuzzer::run(std::size_t steps) {
+  FuzzReport report;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // A2 / A3.
+    const Time ub = machine_.upper_bound(now_);
+    PSC_CHECK(ub >= now_, machine_.name()
+                              << ": upper_bound " << format_time(ub)
+                              << " < now " << format_time(now_));
+    const Time ne = machine_.next_enabled(now_);
+    PSC_CHECK(ne > now_ || ne == kTimeMax,
+              machine_.name() << ": next_enabled " << format_time(ne)
+                              << " <= now " << format_time(now_));
+
+    // Maybe inject an input.
+    if (input_gen_ && rng_.flip(input_prob_)) {
+      if (auto a = input_gen_(now_, rng_)) {
+        PSC_CHECK(machine_.classify(*a) == ActionRole::kInput,
+                  machine_.name() << ": generated input " << to_string(*a)
+                                  << " not classified kInput");
+        machine_.apply_input(*a, now_);  // A6: must not throw
+        ++report.inputs_injected;
+        continue;
+      }
+    }
+
+    // Execute an enabled action, if any.
+    auto acts = machine_.enabled(now_);
+    if (!acts.empty()) {
+      const auto& a = acts[rng_.index(acts.size())];
+      const ActionRole role = machine_.classify(a);
+      PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
+                machine_.name() << ": enabled action " << to_string(a)
+                                << " classified " << to_string(role));
+      machine_.apply_local(a, now_);  // A5
+      ++report.actions_executed;
+      continue;
+    }
+
+    // Nothing enabled: advance time like the executor would.
+    Time target;
+    if (ne != kTimeMax) {
+      // A4: the promise must be executable — time may advance to ne.
+      PSC_CHECK(ne <= machine_.upper_bound(now_),
+                machine_.name() << ": next_enabled " << format_time(ne)
+                                << " beyond upper_bound "
+                                << format_time(machine_.upper_bound(now_))
+                                << " — executor deadlock");
+      target = ne;
+    } else {
+      // Free jump, bounded by the machine's nu-precondition.
+      const Time jump = now_ + rng_.uniform(1, max_jump_);
+      target = std::min(jump, machine_.upper_bound(now_));
+      if (target <= now_) {
+        // Machine pins time but enables nothing and promises nothing: with
+        // no inputs pending this is a deadlock unless an input could help;
+        // tolerate when an input generator exists (environment may move
+        // things along), otherwise fail.
+        PSC_CHECK(input_gen_ != nullptr,
+                  machine_.name() << ": time pinned at " << format_time(now_)
+                                  << " with nothing enabled and nothing "
+                                     "promised");
+        continue;
+      }
+    }
+    now_ = target;
+    ++report.time_advances;
+
+    if (ne != kTimeMax && ne == now_) {
+      // A4 second half: at the promised time something must be enabled
+      // (the executor re-queries; a no-show loops forever).
+      PSC_CHECK(!machine_.enabled(now_).empty(),
+                machine_.name() << ": next_enabled promised "
+                                << format_time(ne)
+                                << " but nothing is enabled there");
+    }
+  }
+  report.end_time = now_;
+  return report;
+}
+
+}  // namespace psc

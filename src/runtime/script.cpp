@@ -1,0 +1,57 @@
+#include "runtime/script.hpp"
+
+#include "util/check.hpp"
+
+namespace psc {
+
+ScriptMachine::ScriptMachine(std::string name, std::vector<Step> steps,
+                             std::function<bool(const Action&)> accepts)
+    : Machine(std::move(name)),
+      steps_(std::move(steps)),
+      accepts_(std::move(accepts)) {
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    PSC_CHECK(steps_[i - 1].at <= steps_[i].at,
+              "script steps must be time-sorted");
+  }
+}
+
+ActionRole ScriptMachine::classify(const Action& a) const {
+  for (const auto& s : steps_) {
+    if (s.action == a) return ActionRole::kOutput;
+  }
+  if (accepts_ && accepts_(a)) return ActionRole::kInput;
+  return ActionRole::kNotMine;
+}
+
+void ScriptMachine::apply_input(const Action& a, Time t) {
+  TimedEvent e;
+  e.action = a;
+  e.time = t;
+  received_.push_back(std::move(e));
+}
+
+std::vector<Action> ScriptMachine::enabled(Time t) const {
+  std::vector<Action> out;
+  if (next_ < steps_.size() && steps_[next_].at <= t) {
+    out.push_back(steps_[next_].action);
+  }
+  return out;
+}
+
+void ScriptMachine::apply_local(const Action& a, Time /*t*/) {
+  PSC_CHECK(next_ < steps_.size() && steps_[next_].action == a,
+            "script executed out of order: " << to_string(a));
+  ++next_;
+}
+
+Time ScriptMachine::upper_bound(Time /*t*/) const {
+  return next_ < steps_.size() ? steps_[next_].at : kTimeMax;
+}
+
+Time ScriptMachine::next_enabled(Time t) const {
+  if (next_ >= steps_.size()) return kTimeMax;
+  const Time at = steps_[next_].at;
+  return at > t ? at : kTimeMax;  // already enabled now — no future hint
+}
+
+}  // namespace psc

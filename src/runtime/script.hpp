@@ -1,0 +1,47 @@
+// ScriptMachine: a deterministic environment automaton.
+//
+// Emits a fixed schedule of output actions at fixed times (urgently — the
+// nu-precondition stops time at the next scripted emission) and records
+// every input it is wired to accept. Used as the environment in tests and
+// as a building block for workload drivers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/trace.hpp"
+
+namespace psc {
+
+class ScriptMachine final : public Machine {
+ public:
+  struct Step {
+    Time at;
+    Action action;
+  };
+
+  // `accepts` decides which foreign actions this machine inputs (may be
+  // empty: pure emitter). Steps must be sorted by time.
+  ScriptMachine(std::string name, std::vector<Step> steps,
+                std::function<bool(const Action&)> accepts = {});
+
+  const TimedTrace& received() const { return received_; }
+  std::size_t emitted() const { return next_; }
+  bool done() const { return next_ >= steps_.size(); }
+
+  ActionRole classify(const Action& a) const override;
+  void apply_input(const Action& a, Time t) override;
+  std::vector<Action> enabled(Time t) const override;
+  void apply_local(const Action& a, Time t) override;
+  Time upper_bound(Time t) const override;
+  Time next_enabled(Time t) const override;
+
+ private:
+  std::vector<Step> steps_;
+  std::function<bool(const Action&)> accepts_;
+  std::size_t next_ = 0;
+  TimedTrace received_;
+};
+
+}  // namespace psc

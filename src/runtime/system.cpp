@@ -1,0 +1,77 @@
+#include "runtime/system.hpp"
+
+#include "util/check.hpp"
+
+namespace psc {
+
+Graph Graph::complete_with_self_loops(int n) {
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      g.edges.emplace_back(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Graph::complete(int n) {
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) g.edges.emplace_back(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Graph::ring(int n) {
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) {
+    g.edges.emplace_back(i, (i + 1) % n);
+  }
+  return g;
+}
+
+std::vector<int> Graph::out_peers(int i) const {
+  std::vector<int> out;
+  for (const auto& [a, b] : edges) {
+    if (a == i) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<int> Graph::in_peers(int i) const {
+  std::vector<int> out;
+  for (const auto& [a, b] : edges) {
+    if (b == i) out.push_back(a);
+  }
+  return out;
+}
+
+SystemHandles add_timed_system(
+    Executor& exec, const Graph& graph, const ChannelConfig& channels,
+    std::vector<std::unique_ptr<Machine>> algorithms) {
+  PSC_CHECK(static_cast<int>(algorithms.size()) == graph.n,
+            "need one algorithm per node: " << algorithms.size() << " vs "
+                                            << graph.n);
+  SystemHandles handles;
+  for (auto& a : algorithms) {
+    handles.nodes.push_back(a.get());
+    exec.add_owned(std::move(a));
+  }
+  Rng seeder(channels.seed);
+  for (const auto& [i, j] : graph.edges) {
+    auto ch = std::make_unique<Channel>(i, j, channels.d1, channels.d2,
+                                        channels.policy(), seeder.split());
+    handles.channels.push_back(ch.get());
+    exec.add_owned(std::move(ch));
+  }
+  exec.hide("SENDMSG");
+  exec.hide("RECVMSG");
+  return handles;
+}
+
+}  // namespace psc

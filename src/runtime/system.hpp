@@ -1,0 +1,54 @@
+// Distributed-system assembly for the *timed* model: D_T(G, A, E_[d1,d2])
+// (Section 3.3). Node algorithms are composed with one edge automaton per
+// directed edge and the SENDMSG/RECVMSG interface is hidden.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "runtime/executor.hpp"
+
+namespace psc {
+
+// Topology (V, E) of Section 2.4. Nodes are 0..n-1; edges are directed.
+struct Graph {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  // Complete graph including self-loops (node i sends UPDATE to itself in
+  // the Section 6 algorithms via a real edge, matching the paper's
+  // "sends ... to all processors (including itself)").
+  static Graph complete_with_self_loops(int n);
+  static Graph complete(int n);
+  static Graph ring(int n);
+
+  std::vector<int> out_peers(int i) const;
+  std::vector<int> in_peers(int i) const;
+};
+
+// Channel parameters shared by all edges of a system.
+struct ChannelConfig {
+  Duration d1 = 0;
+  Duration d2 = 0;
+  // Factory so each edge gets an independent policy instance.
+  std::function<std::unique_ptr<DelayPolicy>()> policy =
+      [] { return DelayPolicy::uniform(); };
+  std::uint64_t seed = 1;
+};
+
+struct SystemHandles {
+  std::vector<Machine*> nodes;      // node machines, index = node id
+  std::vector<Channel*> channels;   // one per edge, in graph.edges order
+};
+
+// Adds node machines and edge automata to the executor and hides the
+// message interface. `algorithms[i]` models node i and must use
+// SENDMSG/RECVMSG actions.
+SystemHandles add_timed_system(Executor& exec, const Graph& graph,
+                               const ChannelConfig& channels,
+                               std::vector<std::unique_ptr<Machine>> algorithms);
+
+}  // namespace psc

@@ -1,0 +1,215 @@
+#include "rw/harness.hpp"
+
+#include "mmt/mmt_system.hpp"
+#include "rw/sliced.hpp"
+#include "runtime/clocked.hpp"
+#include "runtime/composite.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "transform/clock_system.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+
+namespace {
+
+RwParams algo_params(const RwRunConfig& cfg, Duration d2_prime) {
+  RwParams p;
+  p.num_nodes = cfg.num_nodes;
+  p.c = cfg.c;
+  p.delta = cfg.delta;
+  p.d2_prime = d2_prime;
+  p.two_eps = cfg.super ? 2 * cfg.eps : 0;
+  p.v0 = cfg.v0;
+  return p;
+}
+
+ClientOptions client_options(const RwRunConfig& cfg) {
+  ClientOptions o;
+  o.num_ops = cfg.ops_per_node;
+  o.think_min = cfg.think_min;
+  o.think_max = cfg.think_max;
+  o.write_fraction = cfg.write_fraction;
+  return o;
+}
+
+std::vector<std::shared_ptr<const ClockTrajectory>> make_trajectories(
+    const RwRunConfig& cfg, const DriftModel& drift) {
+  std::vector<std::shared_ptr<const ClockTrajectory>> out;
+  Rng seeder(cfg.seed ^ 0xc1c1c1c1ULL);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    Rng r = seeder.split();
+    auto traj = std::make_shared<ClockTrajectory>(
+        drift.generate(cfg.eps, cfg.horizon, r));
+    traj->validate(cfg.horizon);
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+RwRunResult finish(Executor& exec, const std::vector<RwClient*>& clients) {
+  const auto report = exec.run();
+  RwRunResult result;
+  result.ops = collect_operations(clients);
+  result.events = exec.events();
+  result.end_time = report.end_time;
+  return result;
+}
+
+void add_clients(Executor& exec, const RwRunConfig& cfg,
+                 std::vector<RwClient*>* handles) {
+  auto clients =
+      make_clients(cfg.num_nodes, client_options(cfg), cfg.seed ^ 0xc7, handles);
+  for (auto& c : clients) exec.add_owned(std::move(c));
+}
+
+ChannelConfig channel_config(const RwRunConfig& cfg) {
+  ChannelConfig cc;
+  cc.d1 = cfg.d1;
+  cc.d2 = cfg.d2;
+  cc.seed = cfg.seed ^ 0xe5e5;
+  return cc;
+}
+
+}  // namespace
+
+RwRunResult run_rw_timed(const RwRunConfig& cfg) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  std::vector<RwClient*> clients;
+  add_clients(exec, cfg, &clients);
+  const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
+  add_timed_system(exec, g, channel_config(cfg),
+                   make_rw_algorithms(cfg.num_nodes, algo_params(cfg, cfg.d2)));
+  return finish(exec, clients);
+}
+
+RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  std::vector<RwClient*> clients;
+  add_clients(exec, cfg, &clients);
+  const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
+  // Theorem 4.7: design the algorithm against [max(d1-2eps,0), d2+2eps].
+  auto algos = make_rw_algorithms(cfg.num_nodes,
+                                  algo_params(cfg, timed_d2(cfg.d2, cfg.eps)));
+  auto trajs = make_trajectories(cfg, drift);
+  const auto handles = add_clock_system(exec, g, channel_config(cfg),
+                                        std::move(algos), trajs);
+  auto result = finish(exec, clients);
+  result.trajectories = std::move(trajs);
+  for (auto* node : handles.nodes) {
+    auto& comp = dynamic_cast<CompositeMachine&>(node->inner());
+    for (std::size_t k = 0; k < comp.size(); ++k) {
+      if (const auto* rb = dynamic_cast<const ReceiveBuffer*>(&comp.member(k))) {
+        const auto& s = rb->stats();
+        result.buffer_totals.received += s.received;
+        result.buffer_totals.buffered += s.buffered;
+        result.buffer_totals.total_hold += s.total_hold;
+        result.buffer_totals.max_hold =
+            std::max(result.buffer_totals.max_hold, s.max_hold);
+      }
+    }
+  }
+  return result;
+}
+
+RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  std::vector<RwClient*> clients;
+  add_clients(exec, cfg, &clients);
+  const Graph g = Graph::complete(cfg.num_nodes);
+  SlicedParams sp;
+  sp.num_nodes = cfg.num_nodes;
+  sp.u = 2 * cfg.eps;
+  sp.d2 = cfg.d2;
+  sp.v0 = cfg.v0;
+  auto algos = make_sliced_algorithms(cfg.num_nodes, sp);
+  auto trajs = make_trajectories(cfg, drift);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    exec.add_owned(std::make_unique<ClockedMachine>(
+        std::move(algos[static_cast<std::size_t>(i)]),
+        trajs[static_cast<std::size_t>(i)]));
+  }
+  Rng seeder(cfg.seed ^ 0xe5e5);
+  ChannelConfig cc = channel_config(cfg);
+  for (const auto& [i, j] : g.edges) {
+    exec.add_owned(std::make_unique<Channel>(i, j, cc.d1, cc.d2, cc.policy(),
+                                             seeder.split()));
+  }
+  exec.hide("SENDMSG");
+  exec.hide("RECVMSG");
+  auto result = finish(exec, clients);
+  result.trajectories = std::move(trajs);
+  return result;
+}
+
+RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
+                       Duration ell, int k) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  std::vector<RwClient*> clients;
+  add_clients(exec, cfg, &clients);
+  const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
+  auto algos = make_rw_algorithms(
+      cfg.num_nodes, algo_params(cfg, mmt_d2(cfg.d2, cfg.eps, k, ell)));
+  MmtConfig mc;
+  mc.ell = ell;
+  mc.seed = cfg.seed ^ 0x4d4d54;
+  auto trajs = make_trajectories(cfg, drift);
+  const auto handles =
+      add_mmt_system(exec, g, channel_config(cfg), std::move(algos), trajs, mc);
+  // The MMT tick/step machinery never quiesces; stop once every client has
+  // completed its workload.
+  exec.stop_when([clients] {
+    for (const auto* c : clients) {
+      if (!c->finished()) return false;
+    }
+    return true;
+  });
+  auto result = finish(exec, clients);
+  (void)handles;
+  result.trajectories = std::move(trajs);
+  return result;
+}
+
+RwRunResult run_rw_clock_nobuffer(const RwRunConfig& cfg,
+                                  const DriftModel& drift) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  std::vector<RwClient*> clients;
+  add_clients(exec, cfg, &clients);
+  const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
+  auto algos = make_rw_algorithms(cfg.num_nodes,
+                                  algo_params(cfg, timed_d2(cfg.d2, cfg.eps)));
+  auto trajs = make_trajectories(cfg, drift);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    exec.add_owned(std::make_unique<ClockedMachine>(
+        std::move(algos[static_cast<std::size_t>(i)]),
+        trajs[static_cast<std::size_t>(i)]));
+  }
+  Rng seeder(cfg.seed ^ 0xe5e5);
+  ChannelConfig cc = channel_config(cfg);
+  for (const auto& [i, j] : g.edges) {
+    exec.add_owned(std::make_unique<Channel>(i, j, cc.d1, cc.d2, cc.policy(),
+                                             seeder.split()));
+  }
+  exec.hide("SENDMSG");
+  exec.hide("RECVMSG");
+  auto result = finish(exec, clients);
+  result.trajectories = std::move(trajs);
+  return result;
+}
+
+Duration bound_read_timed(const RwRunConfig& cfg) {
+  return cfg.c + cfg.delta + (cfg.super ? 2 * cfg.eps : 0);
+}
+Duration bound_write_timed(const RwRunConfig& cfg) { return cfg.d2 - cfg.c; }
+Duration bound_read_clock(const RwRunConfig& cfg) {
+  return 2 * cfg.eps + cfg.delta + cfg.c;
+}
+Duration bound_write_clock(const RwRunConfig& cfg) {
+  return cfg.d2 + 2 * cfg.eps - cfg.c;
+}
+Duration bound_read_sliced(const RwRunConfig& cfg) { return 8 * cfg.eps; }
+Duration bound_write_sliced(const RwRunConfig& cfg) {
+  return cfg.d2 + 6 * cfg.eps;
+}
+
+}  // namespace psc

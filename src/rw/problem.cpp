@@ -1,0 +1,16 @@
+#include "rw/problem.hpp"
+
+namespace psc {
+
+bool superlinearizability_implies_linearizability(
+    const std::vector<Operation>& superlinearizable_ops,
+    const std::vector<Operation>& perturbed_ops, Duration eps,
+    std::int64_t v0) {
+  const auto premise =
+      check_superlinearizable(superlinearizable_ops, v0, 2 * eps);
+  if (!premise.ok) return true;  // implication vacuously holds
+  const auto conclusion = check_linearizable(perturbed_ops, v0);
+  return conclusion.ok;
+}
+
+}  // namespace psc

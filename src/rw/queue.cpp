@@ -1,0 +1,388 @@
+#include "rw/queue.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "algos/tobcast.hpp"
+#include "runtime/composite.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "transform/clock_system.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+
+namespace {
+
+// Operation encoding inside the broadcast payload: enqueues carry
+// (value << 1) | 1, dequeues are 0. Client values are nonnegative, so the
+// encoding is unambiguous.
+constexpr std::int64_t kDeqPayload = 0;
+std::int64_t encode_enq(std::int64_t v) { return (v << 1) | 1; }
+bool is_enq(std::int64_t payload) { return (payload & 1) != 0; }
+std::int64_t enq_value(std::int64_t payload) { return payload >> 1; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueueServer
+// ---------------------------------------------------------------------------
+
+QueueServer::QueueServer(int node, int num_nodes)
+    : Machine("queue_" + std::to_string(node)),
+      node_(node),
+      num_nodes_(num_nodes) {}
+
+ActionRole QueueServer::classify(const Action& a) const {
+  if (a.node != node_) return ActionRole::kNotMine;
+  if (a.name == "ENQ" || a.name == "DEQ" || a.name == "TODELIVER") {
+    return ActionRole::kInput;
+  }
+  if (a.name == "ENQACK" || a.name == "DEQRET" || a.name == "TOBCAST") {
+    return ActionRole::kOutput;
+  }
+  return ActionRole::kNotMine;
+}
+
+void QueueServer::apply_input(const Action& a, Time /*now*/) {
+  if (a.name == "ENQ") {
+    PSC_CHECK(outstanding_ == OpKind::kNone, "alternation violated");
+    PSC_CHECK(as_int(a.args.at(0)) >= 0, "queue values must be nonnegative");
+    outstanding_ = OpKind::kEnq;
+    pending_bcast_ = encode_enq(as_int(a.args.at(0)));
+    bcast_ready_ = true;
+  } else if (a.name == "DEQ") {
+    PSC_CHECK(outstanding_ == OpKind::kNone, "alternation violated");
+    outstanding_ = OpKind::kDeq;
+    pending_bcast_ = kDeqPayload;
+    bcast_ready_ = true;
+  } else {  // TODELIVER(payload, sender)
+    const std::int64_t payload = as_int(a.args.at(0));
+    const int sender = static_cast<int>(as_int(a.args.at(1)));
+    std::int64_t deq_result = -1;
+    if (is_enq(payload)) {
+      queue_.push_back(enq_value(payload));
+    } else {
+      if (!queue_.empty()) {
+        deq_result = queue_.front();
+        queue_.pop_front();
+      }
+    }
+    if (sender == node_) {
+      PSC_CHECK(outstanding_ != OpKind::kNone,
+                "own delivery with no outstanding op");
+      PSC_CHECK(is_enq(payload) == (outstanding_ == OpKind::kEnq),
+                "delivery kind mismatch");
+      response_ready_ = true;
+      response_value_ = deq_result;
+    }
+  }
+}
+
+std::vector<Action> QueueServer::enabled(Time /*now*/) const {
+  std::vector<Action> out;
+  if (bcast_ready_) {
+    out.push_back(make_action("TOBCAST", node_, {Value{pending_bcast_}}));
+  }
+  if (response_ready_) {
+    if (outstanding_ == OpKind::kEnq) {
+      out.push_back(make_action("ENQACK", node_));
+    } else {
+      out.push_back(make_action("DEQRET", node_, {Value{response_value_}}));
+    }
+  }
+  return out;
+}
+
+void QueueServer::apply_local(const Action& a, Time /*now*/) {
+  if (a.name == "TOBCAST") {
+    PSC_CHECK(bcast_ready_, "broadcast out of turn");
+    bcast_ready_ = false;
+  } else if (a.name == "ENQACK" || a.name == "DEQRET") {
+    PSC_CHECK(response_ready_, "response out of turn");
+    response_ready_ = false;
+    outstanding_ = OpKind::kNone;
+  } else {
+    PSC_CHECK(false, "unexpected action " << to_string(a));
+  }
+}
+
+Time QueueServer::upper_bound(Time now) const {
+  return (bcast_ready_ || response_ready_) ? now : kTimeMax;
+}
+
+std::vector<std::unique_ptr<Machine>> make_queue_nodes(int num_nodes,
+                                                       Duration d2_prime,
+                                                       Duration delta) {
+  std::vector<std::unique_ptr<Machine>> out;
+  for (int i = 0; i < num_nodes; ++i) {
+    auto composite =
+        std::make_unique<CompositeMachine>("qnode_" + std::to_string(i));
+    composite->add(std::make_unique<QueueServer>(i, num_nodes));
+    TobcastParams tp;
+    tp.node = i;
+    tp.num_nodes = num_nodes;
+    tp.d2_prime = d2_prime;
+    tp.delta = delta;
+    composite->add(std::make_unique<TobcastNode>(tp));
+    composite->hide("TOBCAST");
+    composite->hide("TODELIVER");
+    out.push_back(std::move(composite));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// QueueClient
+// ---------------------------------------------------------------------------
+
+QueueClient::QueueClient(const Options& options)
+    : Machine("qclient_" + std::to_string(options.node)),
+      options_(options),
+      rng_(options.seed) {
+  PSC_CHECK(options_.think_min <= options_.think_max, "think range");
+}
+
+ActionRole QueueClient::classify(const Action& a) const {
+  if (a.node != options_.node) return ActionRole::kNotMine;
+  if (a.name == "ENQACK" || a.name == "DEQRET") return ActionRole::kInput;
+  if (a.name == "ENQ" || a.name == "DEQ") return ActionRole::kOutput;
+  return ActionRole::kNotMine;
+}
+
+void QueueClient::apply_input(const Action& a, Time t) {
+  PSC_CHECK(busy_, "response without invocation");
+  if (a.name == "DEQRET") {
+    PSC_CHECK(current_.kind == QueueOp::Kind::kDeq, "DEQRET for ENQ");
+    current_.value = as_int(a.args.at(0));
+  } else {
+    PSC_CHECK(current_.kind == QueueOp::Kind::kEnq, "ENQACK for DEQ");
+  }
+  current_.res = t;
+  ops_.push_back(current_);
+  busy_ = false;
+  const Duration think =
+      options_.think_min == options_.think_max
+          ? options_.think_min
+          : rng_.uniform(options_.think_min, options_.think_max);
+  next_issue_ = t + think;
+}
+
+std::vector<Action> QueueClient::enabled(Time t) const {
+  std::vector<Action> out;
+  if (!busy_ && issued_ < options_.num_ops && next_issue_ <= t) {
+    Rng probe(options_.seed ^ (0x2545f49ULL * (issued_ + 1)));
+    if (probe.uniform01() < options_.enq_fraction) {
+      const std::int64_t v =
+          (static_cast<std::int64_t>(options_.node) << 24) | (issued_ + 1);
+      out.push_back(make_action("ENQ", options_.node, {Value{v}}));
+    } else {
+      out.push_back(make_action("DEQ", options_.node));
+    }
+  }
+  return out;
+}
+
+void QueueClient::apply_local(const Action& a, Time t) {
+  PSC_CHECK(!busy_ && issued_ < options_.num_ops, "invocation out of turn");
+  current_ = QueueOp{};
+  current_.proc = options_.node;
+  current_.inv = t;
+  if (a.name == "ENQ") {
+    current_.kind = QueueOp::Kind::kEnq;
+    current_.value = as_int(a.args.at(0));
+  } else {
+    current_.kind = QueueOp::Kind::kDeq;
+  }
+  ++issued_;
+  busy_ = true;
+}
+
+Time QueueClient::upper_bound(Time t) const {
+  if (busy_ || issued_ >= options_.num_ops) return kTimeMax;
+  return next_issue_ <= t ? t : next_issue_;
+}
+
+Time QueueClient::next_enabled(Time t) const {
+  if (busy_ || issued_ >= options_.num_ops) return kTimeMax;
+  return next_issue_ > t ? next_issue_ : kTimeMax;
+}
+
+// ---------------------------------------------------------------------------
+// Checker: Wing-Gong with FIFO semantics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string queue_key(const std::vector<std::uint64_t>& mask,
+                      const std::deque<std::int64_t>& q) {
+  std::string key(reinterpret_cast<const char*>(mask.data()),
+                  mask.size() * sizeof(std::uint64_t));
+  for (const auto v : q) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return key;
+}
+
+struct QueueSearcher {
+  const std::vector<QueueOp>& ops;
+  std::size_t max_states;
+  std::size_t states = 0;
+  bool capped = false;
+  std::unordered_set<std::string> failed;
+  std::vector<std::uint64_t> mask;
+
+  explicit QueueSearcher(const std::vector<QueueOp>& o, std::size_t cap)
+      : ops(o), max_states(cap), mask((o.size() + 63) / 64, 0) {}
+
+  bool done(std::size_t k) const { return (mask[k / 64] >> (k % 64)) & 1; }
+  void set(std::size_t k, bool v) {
+    if (v) {
+      mask[k / 64] |= std::uint64_t{1} << (k % 64);
+    } else {
+      mask[k / 64] &= ~(std::uint64_t{1} << (k % 64));
+    }
+  }
+
+  bool search(std::size_t remaining, std::deque<std::int64_t>& q) {
+    if (remaining == 0) return true;
+    if (++states > max_states) {
+      capped = true;
+      return false;
+    }
+    const std::string key = queue_key(mask, q);
+    if (failed.count(key)) return false;
+    Time min_res = kTimeMax;
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      if (!done(k)) min_res = std::min(min_res, ops[k].res);
+    }
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      if (done(k) || ops[k].inv > min_res) continue;
+      const auto& op = ops[k];
+      if (op.kind == QueueOp::Kind::kEnq) {
+        q.push_back(op.value);
+        set(k, true);
+        if (search(remaining - 1, q)) return true;
+        set(k, false);
+        q.pop_back();
+      } else {
+        // Dequeue must return the current front, or -1 when empty.
+        if (q.empty()) {
+          if (op.value != -1) continue;
+          set(k, true);
+          if (search(remaining - 1, q)) return true;
+          set(k, false);
+        } else {
+          if (op.value != q.front()) continue;
+          const std::int64_t head = q.front();
+          q.pop_front();
+          set(k, true);
+          if (search(remaining - 1, q)) return true;
+          set(k, false);
+          q.push_front(head);
+        }
+      }
+      if (capped) return false;
+    }
+    failed.insert(key);
+    return false;
+  }
+};
+
+}  // namespace
+
+QueueCheckResult check_linearizable_queue(const std::vector<QueueOp>& ops,
+                                          std::size_t max_states) {
+  for (const auto& op : ops) {
+    if (op.inv > op.res) {
+      return {false, true, 0, "operation with inv > res"};
+    }
+  }
+  QueueSearcher s(ops, max_states);
+  std::deque<std::int64_t> q;
+  const bool ok = s.search(ops.size(), q);
+  QueueCheckResult r;
+  r.ok = ok;
+  r.conclusive = !s.capped;
+  r.states = s.states;
+  if (!ok) {
+    r.why = s.capped ? "state cap reached" : "no legal linearization";
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<QueueClient*> add_queue_clients(Executor& exec,
+                                            const QueueRunConfig& cfg) {
+  std::vector<QueueClient*> handles;
+  Rng seeder(cfg.seed ^ 0x9c);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    QueueClient::Options o;
+    o.node = i;
+    o.num_ops = cfg.ops_per_node;
+    o.enq_fraction = cfg.enq_fraction;
+    o.think_min = cfg.think_min;
+    o.think_max = cfg.think_max;
+    o.seed = seeder.next();
+    auto c = std::make_unique<QueueClient>(o);
+    handles.push_back(c.get());
+    exec.add_owned(std::move(c));
+  }
+  return handles;
+}
+
+QueueRunResult collect(Executor& exec,
+                       const std::vector<QueueClient*>& clients) {
+  exec.run();
+  QueueRunResult result;
+  for (const auto* c : clients) {
+    const auto& ops = c->operations();
+    result.ops.insert(result.ops.end(), ops.begin(), ops.end());
+  }
+  result.events = exec.events();
+  return result;
+}
+
+}  // namespace
+
+QueueRunResult run_queue_timed(const QueueRunConfig& cfg) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  auto clients = add_queue_clients(exec, cfg);
+  ChannelConfig cc;
+  cc.d1 = cfg.d1;
+  cc.d2 = cfg.d2;
+  cc.seed = cfg.seed ^ 0x99;
+  add_timed_system(exec, Graph::complete_with_self_loops(cfg.num_nodes), cc,
+                   make_queue_nodes(cfg.num_nodes, cfg.d2, cfg.delta));
+  return collect(exec, clients);
+}
+
+QueueRunResult run_queue_clock(const QueueRunConfig& cfg,
+                               const DriftModel& drift) {
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  auto clients = add_queue_clients(exec, cfg);
+  std::vector<std::shared_ptr<const ClockTrajectory>> trajs;
+  Rng seeder(cfg.seed ^ 0xc1c1c1c1ULL);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    Rng r = seeder.split();
+    trajs.push_back(std::make_shared<ClockTrajectory>(
+        drift.generate(cfg.eps, cfg.horizon, r)));
+  }
+  ChannelConfig cc;
+  cc.d1 = cfg.d1;
+  cc.d2 = cfg.d2;
+  cc.seed = cfg.seed ^ 0x55;
+  add_clock_system(exec, Graph::complete_with_self_loops(cfg.num_nodes), cc,
+                   make_queue_nodes(cfg.num_nodes,
+                                    timed_d2(cfg.d2, cfg.eps), cfg.delta),
+                   trajs);
+  return collect(exec, clients);
+}
+
+}  // namespace psc

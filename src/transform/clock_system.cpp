@@ -1,0 +1,62 @@
+#include "transform/clock_system.hpp"
+
+#include "util/check.hpp"
+
+namespace psc {
+
+std::unique_ptr<CompositeMachine> make_node_composite(
+    std::unique_ptr<Machine> algorithm, int node,
+    const std::vector<int>& out_peers, const std::vector<int>& in_peers) {
+  auto composite = std::make_unique<CompositeMachine>(
+      "A^c_" + std::to_string(node));
+  composite->add(std::move(algorithm));
+  for (int j : out_peers) {
+    composite->add(std::make_unique<SendBuffer>(node, j));
+  }
+  for (int j : in_peers) {
+    composite->add(std::make_unique<ReceiveBuffer>(j, node));
+  }
+  composite->hide("SENDMSG");
+  composite->hide("RECVMSG");
+  return composite;
+}
+
+std::unique_ptr<ClockedMachine> make_clock_node(
+    std::unique_ptr<Machine> algorithm, int node,
+    const std::vector<int>& out_peers, const std::vector<int>& in_peers,
+    std::shared_ptr<const ClockTrajectory> trajectory) {
+  return std::make_unique<ClockedMachine>(
+      make_node_composite(std::move(algorithm), node, out_peers, in_peers),
+      std::move(trajectory));
+}
+
+ClockSystemHandles add_clock_system(
+    Executor& exec, const Graph& graph, const ChannelConfig& channels,
+    std::vector<std::unique_ptr<Machine>> algorithms,
+    std::vector<std::shared_ptr<const ClockTrajectory>> trajectories) {
+  PSC_CHECK(static_cast<int>(algorithms.size()) == graph.n,
+            "need one algorithm per node");
+  PSC_CHECK(trajectories.size() == algorithms.size(),
+            "need one trajectory per node");
+  ClockSystemHandles handles;
+  for (int i = 0; i < graph.n; ++i) {
+    auto node = make_clock_node(std::move(algorithms[static_cast<size_t>(i)]),
+                                i, graph.out_peers(i), graph.in_peers(i),
+                                trajectories[static_cast<size_t>(i)]);
+    handles.nodes.push_back(node.get());
+    exec.add_owned(std::move(node));
+  }
+  Rng seeder(channels.seed);
+  for (const auto& [i, j] : graph.edges) {
+    auto ch = std::make_unique<Channel>(i, j, channels.d1, channels.d2,
+                                        channels.policy(), seeder.split(),
+                                        "ESENDMSG", "ERECVMSG");
+    handles.channels.push_back(ch.get());
+    exec.add_owned(std::move(ch));
+  }
+  exec.hide("ESENDMSG");
+  exec.hide("ERECVMSG");
+  return handles;
+}
+
+}  // namespace psc

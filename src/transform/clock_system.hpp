@@ -1,0 +1,67 @@
+// Simulation 1 assembly: the clock-model system D_C(G, A^c_eps, E^c_[d1,d2])
+// of Section 4.
+//
+// Each node i becomes
+//   A^c_{i,eps} = ClockedMachine( C(A_i,eps) x S_{ij,eps} x R_{ji,eps} ,
+//                                 trajectory_i )
+// with SENDMSG/RECVMSG hidden inside the node composite (they are the
+// internal interface between algorithm and buffers), and the edges are the
+// renamed channels E^c carrying (m, c) pairs, with ESENDMSG/ERECVMSG hidden
+// at system level.
+//
+// The algorithm machine passed in is *the same object* one would run in the
+// timed model — the transformation C(A_i, eps) is exactly "drive it by the
+// clock", which the ClockedMachine adapter performs (see clocked.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clock/trajectory.hpp"
+#include "runtime/clocked.hpp"
+#include "runtime/composite.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "transform/buffers.hpp"
+
+namespace psc {
+
+// The buffered node composite C(A_i,eps) x S_{ij} x R_{ji} with the
+// SENDMSG/RECVMSG interface hidden — still a *clock-time* machine. Used by
+// both simulations: Simulation 1 drives it through a ClockedMachine;
+// Simulation 2 wraps it in M(., ell).
+std::unique_ptr<CompositeMachine> make_node_composite(
+    std::unique_ptr<Machine> algorithm, int node,
+    const std::vector<int>& out_peers, const std::vector<int>& in_peers);
+
+// Assembles one clock-model node from a timed-model algorithm machine.
+// Exposed separately so tests can exercise a single node.
+std::unique_ptr<ClockedMachine> make_clock_node(
+    std::unique_ptr<Machine> algorithm, int node,
+    const std::vector<int>& out_peers, const std::vector<int>& in_peers,
+    std::shared_ptr<const ClockTrajectory> trajectory);
+
+struct ClockSystemHandles {
+  std::vector<ClockedMachine*> nodes;  // index = node id
+  std::vector<Channel*> channels;      // in graph.edges order
+};
+
+// Builds D_C into the executor. `algorithms[i]` is the timed-model machine
+// for node i; `trajectories[i]` its clock. Channel bounds are the *clock
+// model's* [d1, d2]; per Theorem 4.7 the corresponding timed-model design
+// bounds are [max(d1-2eps,0), d2+2eps].
+ClockSystemHandles add_clock_system(
+    Executor& exec, const Graph& graph, const ChannelConfig& channels,
+    std::vector<std::unique_ptr<Machine>> algorithms,
+    std::vector<std::shared_ptr<const ClockTrajectory>> trajectories);
+
+// The delay-bound translation of Theorem 4.7: timed-model design bounds
+// [d1', d2'] for clock-model physical bounds [d1, d2].
+constexpr Duration timed_d1(Duration d1, Duration eps) {
+  return d1 > 2 * eps ? d1 - 2 * eps : 0;
+}
+constexpr Duration timed_d2(Duration d2, Duration eps) {
+  return d2 + 2 * eps;
+}
+
+}  // namespace psc

@@ -1,0 +1,60 @@
+// Executable rendition of the Theorem 4.6 simulation proof.
+//
+// Given the full event log of a clock-model run D_C, Definition 4.2 builds
+// gamma_alpha: project onto the timed-model actions, replace each action's
+// real time with the clock value of the node that performed it, and
+// stable-sort by those clock values. Theorem 4.6 then rests on two facts
+// that we check directly:
+//
+//   (1) gamma_alpha is an admissible timed schedule of D_T with channel
+//       bounds [max(d1-2eps,0), d2+2eps] — per Lemma 4.5 the interesting
+//       obligation is that every message's *clock-time* delay
+//       (receiver clock at RECVMSG - sender clock at SENDMSG) lies in that
+//       window;
+//   (2) t-trace(alpha) =eps gamma_alpha | vis — every visible action's
+//       clock value differs from its real time by at most eps, with
+//       per-node order preserved (checked with the Def 2.8 relation).
+//
+// Inputs the node received from timed environment machines (e.g. READ_i
+// from a client) carry no owner clock in the log; their clock value is the
+// destination node's clock at that instant, computed from the node's
+// trajectory — exactly the c_i(alpha) convention of Section 4.3.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clock/trajectory.hpp"
+#include "core/relations.hpp"
+#include "core/trace.hpp"
+
+namespace psc {
+
+struct Sim1Check {
+  // (1) channel-delay obligation.
+  bool delays_ok = false;
+  std::size_t messages = 0;
+  Duration min_clock_delay = 0;  // observed extremes
+  Duration max_clock_delay = 0;
+  // (2) trace equivalence.
+  RelationResult trace_equiv;
+  Duration max_perturbation = 0;  // max |clock - now| over visible actions
+
+  bool ok() const { return delays_ok && trace_equiv.related; }
+};
+
+// `events` is Executor::events() of a D_C run; `trajectories[i]` is node
+// i's clock. d1/d2 are the *clock model's* physical channel bounds; the
+// checked window is [max(d1-2eps,0), d2+2eps].
+Sim1Check check_simulation1(
+    const TimedTrace& events,
+    const std::vector<std::shared_ptr<const ClockTrajectory>>& trajectories,
+    Duration d1, Duration d2, Duration eps);
+
+// The gamma_alpha construction itself (visible actions only), exposed for
+// tests: clock-retimed, stably reordered by clock value.
+TimedTrace gamma_visible(
+    const TimedTrace& events,
+    const std::vector<std::shared_ptr<const ClockTrajectory>>& trajectories);
+
+}  // namespace psc

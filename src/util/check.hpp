@@ -1,0 +1,37 @@
+// Lightweight runtime-contract checking used throughout the library.
+//
+// Model-axiom violations (e.g. a machine trying to move time backwards, a
+// clock trajectory leaving the C_eps band) are programming or configuration
+// errors, not recoverable conditions, so they throw CheckError which tests
+// can assert on and applications should treat as fatal.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psc {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace psc
+
+// Always-on invariant check. `msg` is a streamable expression, e.g.
+//   PSC_CHECK(a < b, "a=" << a << " b=" << b);
+#define PSC_CHECK(expr, msg)                                            \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream psc_check_os_;                                 \
+      psc_check_os_ << msg; /* NOLINT */                                \
+      ::psc::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                  psc_check_os_.str());                 \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace psc {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  PSC_CHECK(lo <= hi, "uniform(" << lo << "," << hi << ")");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection-free modulo is fine for simulation purposes.
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  PSC_CHECK(n > 0, "index(0)");
+  return static_cast<std::size_t>(next() % n);
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+}  // namespace psc

@@ -1,0 +1,40 @@
+// Deterministic, seedable random number generation.
+//
+// All nondeterminism in the library (channel delays, adversary tie-breaking,
+// clock drift, MMT step times) flows through Rng so that every execution is
+// reproducible from a single seed and sweepable across seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psc {
+
+// splitmix64: tiny, fast, high-quality for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Raw 64 random bits.
+  std::uint64_t next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Bernoulli trial with probability p in [0, 1].
+  bool flip(double p);
+
+  // Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  // Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace psc

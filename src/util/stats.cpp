@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const {
+  PSC_CHECK(n_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  PSC_CHECK(n_ > 0, "max of empty stats");
+  return max_;
+}
+
+double RunningStats::mean() const {
+  PSC_CHECK(n_ > 0, "mean of empty stats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  PSC_CHECK(n_ > 0, "variance of empty stats");
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  if (n_ == 0) {
+    os << "n=0";
+  } else {
+    os << "n=" << n_ << " min=" << min_ << " mean=" << mean_
+       << " max=" << max_ << " sd=" << stddev();
+  }
+  return os.str();
+}
+
+void Samples::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::min() const {
+  PSC_CHECK(!xs_.empty(), "min of empty samples");
+  sort_if_needed();
+  return xs_.front();
+}
+
+double Samples::max() const {
+  PSC_CHECK(!xs_.empty(), "max of empty samples");
+  sort_if_needed();
+  return xs_.back();
+}
+
+double Samples::mean() const {
+  PSC_CHECK(!xs_.empty(), "mean of empty samples");
+  double sum = 0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  PSC_CHECK(!xs_.empty(), "percentile of empty samples");
+  PSC_CHECK(p >= 0 && p <= 100, "p=" << p);
+  sort_if_needed();
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs_[lo] * (1 - frac) + xs_[hi] * frac;
+}
+
+}  // namespace psc

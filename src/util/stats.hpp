@@ -1,0 +1,50 @@
+// Small statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+// Streaming min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0;
+};
+
+// Stores samples; supports exact percentiles. Intended for bench-scale
+// sample counts (<= a few million).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;  // invalidate the percentile cache
+  }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  // p in [0, 100]; nearest-rank.
+  double percentile(double p) const;
+  const std::vector<double>& raw() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+}  // namespace psc

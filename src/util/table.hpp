@@ -1,0 +1,53 @@
+// ASCII table printer used by the benchmark harness to regenerate the
+// paper's comparison rows in a readable, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string format_cell_double(double v);
+}
+
+template <typename T>
+std::string Table::to_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return detail::format_cell_double(static_cast<double>(v));
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace psc

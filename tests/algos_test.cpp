@@ -1,0 +1,283 @@
+// Tests for the extra algorithms (leader election, heartbeat failure
+// detection) in both the timed and clock models — they demonstrate the
+// paper's design methodology on non-register problems.
+#include <gtest/gtest.h>
+
+#include "algos/election.hpp"
+#include "algos/heartbeat.hpp"
+#include "runtime/script.hpp"
+#include "runtime/system.hpp"
+#include "transform/clock_system.hpp"
+
+namespace psc {
+namespace {
+
+// --- election: timed model ----------------------------------------------------
+
+struct ElectionOutcome {
+  std::vector<int> leaders;  // per node, -1 if unannounced
+  std::size_t claims = 0;    // CLAIM messages broadcast (unique claimants)
+};
+
+ElectionOutcome run_election_timed(int n, Duration slot, Duration d1,
+                                   Duration d2, Duration d2_design,
+                                   std::uint64_t seed) {
+  Executor exec({.horizon = seconds(10), .seed = seed});
+  ElectionParams p;
+  p.slot = slot;
+  p.d2_design = d2_design;
+  auto nodes = make_election_nodes(n, p);
+  std::vector<ElectionNode*> handles;
+  for (auto& m : nodes) handles.push_back(dynamic_cast<ElectionNode*>(m.get()));
+  ChannelConfig cc;
+  cc.d1 = d1;
+  cc.d2 = d2;
+  cc.seed = seed;
+  add_timed_system(exec, Graph::complete(n), cc, std::move(nodes));
+  exec.run();
+  ElectionOutcome out;
+  for (auto* h : handles) {
+    out.leaders.push_back(h->announced());
+    if (h->claimed()) ++out.claims;
+  }
+  return out;
+}
+
+class ElectionTimed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElectionTimed, WellDesignedSlotElectsHighestWithOneClaim) {
+  const Duration d2 = microseconds(100);
+  const auto out = run_election_timed(5, /*slot=*/d2 + microseconds(10),
+                                      0, d2, d2, GetParam());
+  ASSERT_EQ(out.leaders.size(), 5u);
+  for (int l : out.leaders) EXPECT_EQ(l, 4);  // highest id wins
+  EXPECT_EQ(out.claims, 1u);                  // silence did its job
+}
+
+TEST_P(ElectionTimed, TooAggressiveSlotCausesExtraClaimsButStaysUnanimous) {
+  const Duration d2 = microseconds(100);
+  // slot << d2: lower nodes claim before the winner's CLAIM lands.
+  const auto out = run_election_timed(5, /*slot=*/microseconds(10), 0, d2,
+                                      d2, GetParam());
+  EXPECT_GT(out.claims, 1u);
+  for (int l : out.leaders) EXPECT_EQ(l, 4);  // announcement still unanimous
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElectionTimed,
+                         ::testing::Values(1, 2, 3, 7, 42));
+
+TEST(ElectionTest, SingleNodeElectsItself) {
+  const auto out = run_election_timed(1, microseconds(10), 0,
+                                      microseconds(5), microseconds(5), 1);
+  ASSERT_EQ(out.leaders.size(), 1u);
+  EXPECT_EQ(out.leaders[0], 0);
+  EXPECT_EQ(out.claims, 1u);
+}
+
+TEST(ElectionTest, TwoNodes) {
+  const auto out = run_election_timed(2, microseconds(50), microseconds(5),
+                                      microseconds(20), microseconds(20), 9);
+  EXPECT_EQ(out.leaders[0], 1);
+  EXPECT_EQ(out.leaders[1], 1);
+  EXPECT_EQ(out.claims, 1u);
+}
+
+// --- election: clock model (Simulation 1) --------------------------------------
+
+ElectionOutcome run_election_clock(int n, Duration slot, Duration d1,
+                                   Duration d2, Duration d2_design,
+                                   Duration eps, const DriftModel& drift,
+                                   std::uint64_t seed) {
+  Executor exec({.horizon = seconds(10), .seed = seed});
+  ElectionParams p;
+  p.slot = slot;
+  p.d2_design = d2_design;
+  auto nodes = make_election_nodes(n, p);
+  std::vector<ElectionNode*> handles;
+  for (auto& m : nodes) handles.push_back(dynamic_cast<ElectionNode*>(m.get()));
+  std::vector<std::shared_ptr<const ClockTrajectory>> trajs;
+  Rng seeder(seed ^ 0xdddd);
+  for (int i = 0; i < n; ++i) {
+    Rng r = seeder.split();
+    trajs.push_back(std::make_shared<ClockTrajectory>(
+        drift.generate(eps, seconds(10), r)));
+  }
+  ChannelConfig cc;
+  cc.d1 = d1;
+  cc.d2 = d2;
+  cc.seed = seed;
+  add_clock_system(exec, Graph::complete(n), cc, std::move(nodes), trajs);
+  exec.run();
+  ElectionOutcome out;
+  for (auto* h : handles) {
+    out.leaders.push_back(h->announced());
+    if (h->claimed()) ++out.claims;
+  }
+  return out;
+}
+
+class ElectionClock : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElectionClock, DesignRuleWithTwoEpsSurvivesAdversarialClocks) {
+  // Theorem 4.7 methodology: design against d2' = d2 + 2 eps. The
+  // suppression property (one claim) and unanimity survive every clock.
+  const Duration d2 = microseconds(100), eps = microseconds(40);
+  const Duration d2p = timed_d2(d2, eps);
+  OpposingOffsetDrift drift;
+  const auto out = run_election_clock(5, /*slot=*/d2p + microseconds(10), 0,
+                                      d2, d2p, eps, drift, GetParam());
+  for (int l : out.leaders) EXPECT_EQ(l, 4);
+  EXPECT_EQ(out.claims, 1u);
+}
+
+TEST_P(ElectionClock, NaiveSlotIgnoringEpsBreaksSingleClaim) {
+  // Ablation: slot chosen against the raw d2 (valid in the timed model) is
+  // too small once clocks may diverge by 2 eps: a fast-clocked lower node
+  // claims before the winner's message arrives in its clock timeline.
+  const Duration d2 = microseconds(100), eps = microseconds(40);
+  OpposingOffsetDrift drift;
+  bool extra_claims = false;
+  for (std::uint64_t seed = GetParam(); seed < GetParam() + 12; ++seed) {
+    const auto out = run_election_clock(5, /*slot=*/d2 + microseconds(2), 0,
+                                        d2, timed_d2(d2, eps), eps, drift,
+                                        seed);
+    // Announcements stay unanimous (the collection window is designed with
+    // d2'), but suppression can fail.
+    for (int l : out.leaders) EXPECT_EQ(l, 4);
+    if (out.claims > 1) extra_claims = true;
+  }
+  EXPECT_TRUE(extra_claims);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElectionClock, ::testing::Values(1, 101));
+
+// --- heartbeat: timed model -----------------------------------------------------
+
+struct HbOutcome {
+  bool suspected = false;
+  Time suspect_time = -1;
+  std::size_t beats = 0;
+};
+
+HbOutcome run_hb_timed(Duration period, Duration timeout, Duration d1,
+                       Duration d2, Time crash_at, Time horizon,
+                       std::uint64_t seed) {
+  Executor exec({.horizon = horizon, .seed = seed});
+  auto sender = std::make_unique<HeartbeatSender>(0, 1, period);
+  auto monitor = std::make_unique<HeartbeatMonitor>(1, 0, timeout);
+  HeartbeatMonitor* mp = monitor.get();
+  std::vector<std::unique_ptr<Machine>> algos;
+  algos.push_back(std::move(sender));
+  algos.push_back(std::move(monitor));
+  ChannelConfig cc;
+  cc.d1 = d1;
+  cc.d2 = d2;
+  cc.seed = seed;
+  add_timed_system(exec, Graph::complete(2), cc, std::move(algos));
+  if (crash_at >= 0) {
+    exec.add_owned(std::make_unique<ScriptMachine>(
+        "crasher",
+        std::vector<ScriptMachine::Step>{{crash_at, make_action("CRASH", 0)}}));
+  }
+  exec.run();
+  return {mp->suspected(), mp->suspect_time(), mp->beats_seen()};
+}
+
+TEST(HeartbeatTimed, NoCrashNoSuspicion) {
+  const Duration period = microseconds(100), d2 = microseconds(30);
+  const auto out = run_hb_timed(period, period + d2 + 1, 0, d2,
+                                /*crash_at=*/-1, milliseconds(20), 1);
+  EXPECT_FALSE(out.suspected);
+  EXPECT_GT(out.beats, 100u);
+}
+
+TEST(HeartbeatTimed, CrashDetectedWithinBound) {
+  const Duration period = microseconds(100), d2 = microseconds(30);
+  const Time crash = milliseconds(5);
+  const auto out = run_hb_timed(period, period + d2 + 1, 0, d2, crash,
+                                milliseconds(20), 1);
+  ASSERT_TRUE(out.suspected);
+  // Detection no later than: last pre-crash beat arrival + timeout.
+  EXPECT_GT(out.suspect_time, crash);
+  EXPECT_LE(out.suspect_time, crash + period + d2 + (period + d2 + 1));
+}
+
+TEST(HeartbeatTimed, TimeoutBelowDesignRuleFalselySuspects) {
+  const Duration period = microseconds(100), d2 = microseconds(30);
+  // timeout < period + d2: a max-delay beat after a min-delay beat exceeds
+  // it. Use a bimodal channel to realize the jitter.
+  Executor exec({.horizon = milliseconds(50), .seed = 5});
+  std::vector<std::unique_ptr<Machine>> algos;
+  algos.push_back(std::make_unique<HeartbeatSender>(0, 1, period));
+  auto monitor = std::make_unique<HeartbeatMonitor>(1, 0, period + d2 / 2);
+  HeartbeatMonitor* mp = monitor.get();
+  algos.push_back(std::move(monitor));
+  ChannelConfig cc;
+  cc.d1 = 0;
+  cc.d2 = d2;
+  cc.policy = [] { return DelayPolicy::bimodal(0.5); };
+  cc.seed = 5;
+  add_timed_system(exec, Graph::complete(2), cc, std::move(algos));
+  exec.run();
+  EXPECT_TRUE(mp->suspected());
+}
+
+// --- heartbeat: clock model -----------------------------------------------------
+
+HbOutcome run_hb_clock(Duration period, Duration timeout, Duration d2,
+                       Duration eps, const DriftModel& drift,
+                       std::uint64_t seed) {
+  Executor exec({.horizon = milliseconds(50), .seed = seed});
+  std::vector<std::unique_ptr<Machine>> algos;
+  algos.push_back(std::make_unique<HeartbeatSender>(0, 1, period));
+  auto monitor = std::make_unique<HeartbeatMonitor>(1, 0, timeout);
+  HeartbeatMonitor* mp = monitor.get();
+  algos.push_back(std::move(monitor));
+  std::vector<std::shared_ptr<const ClockTrajectory>> trajs;
+  Rng seeder(seed ^ 0xbeef);
+  for (int i = 0; i < 2; ++i) {
+    Rng r = seeder.split();
+    trajs.push_back(std::make_shared<ClockTrajectory>(
+        drift.generate(eps, seconds(1), r)));
+  }
+  ChannelConfig cc;
+  cc.d1 = 0;
+  cc.d2 = d2;
+  cc.policy = [d2] { return DelayPolicy::fixed(d2 / 2); };  // isolate clocks
+  cc.seed = seed;
+  add_clock_system(exec, Graph::complete(2), cc, std::move(algos), trajs);
+  exec.run();
+  return {mp->suspected(), mp->suspect_time(), mp->beats_seen()};
+}
+
+class HeartbeatClock : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeartbeatClock, DesignRuleWithTwoEpsNeverFalselySuspects) {
+  const Duration period = microseconds(100), d2 = microseconds(30),
+                 eps = microseconds(40);
+  // Theorem 4.7 rule: timeout >= period + (d2 + 2 eps) + margin.
+  const Duration timeout = period + timed_d2(d2, eps) + microseconds(5);
+  ZigzagDrift drift(0.45);
+  const auto out = run_hb_clock(period, timeout, d2, eps, drift, GetParam());
+  EXPECT_FALSE(out.suspected);
+  EXPECT_GT(out.beats, 50u);
+}
+
+TEST_P(HeartbeatClock, NaiveTimeoutIgnoringEpsFalselySuspects) {
+  const Duration period = microseconds(100), d2 = microseconds(30),
+                 eps = microseconds(40);
+  // Correct for the timed model, wrong under 2 eps of clock divergence.
+  const Duration timeout = period + d2 + microseconds(1);
+  ZigzagDrift drift(0.45);
+  bool any_false = false;
+  for (std::uint64_t seed = GetParam(); seed < GetParam() + 8; ++seed) {
+    const auto out = run_hb_clock(period, timeout, d2, eps, drift, seed);
+    if (out.suspected) any_false = true;
+  }
+  EXPECT_TRUE(any_false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeartbeatClock, ::testing::Values(1, 201));
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,159 @@
+// Cross-validation of the linearizability checkers on randomly generated
+// histories: histories built from a hidden sequential execution (with the
+// generating points as ground truth) must be accepted by both the
+// Wing-Gong search and the witness checker; corrupted variants must be
+// rejected by both. Also scale smoke: a 10-node register system run stays
+// checkable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rw/harness.hpp"
+#include "rw/queue.hpp"
+#include "util/rng.hpp"
+
+namespace psc {
+namespace {
+
+struct GeneratedHistory {
+  std::vector<Operation> ops;
+  std::vector<Time> points;  // the hidden linearization points
+};
+
+// Builds a history from a random sequential register execution: op k takes
+// effect at point p_k (strictly increasing); its interval extends up to
+// `fuzz` on both sides (clamped so intervals still contain their point).
+GeneratedHistory random_register_history(int n, Duration fuzz, Rng& rng) {
+  GeneratedHistory h;
+  Time p = 10;
+  std::int64_t reg = 0;
+  for (int k = 0; k < n; ++k) {
+    p += 1 + rng.uniform(0, fuzz);
+    Operation op;
+    op.proc = static_cast<int>(rng.index(4));
+    op.inv = std::max<Time>(0, p - rng.uniform(0, fuzz));
+    op.res = p + rng.uniform(0, fuzz);
+    if (rng.flip(0.5)) {
+      op.kind = Operation::Kind::kWrite;
+      op.value = k + 1000;
+      reg = op.value;
+    } else {
+      op.kind = Operation::Kind::kRead;
+      op.value = reg;
+    }
+    h.ops.push_back(op);
+    h.points.push_back(p);
+  }
+  return h;
+}
+
+class CheckerCross : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckerCross, GeneratedHistoriesAcceptedByBothCheckers) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const auto h = random_register_history(24, 40, rng);
+    EXPECT_TRUE(check_with_points(h.ops, h.points, 0));
+    const auto wg = check_linearizable(h.ops, 0);
+    EXPECT_TRUE(wg.ok) << "round " << round << ": " << wg.why;
+  }
+}
+
+TEST_P(CheckerCross, CorruptedReadRejectedByBothCheckers) {
+  Rng rng(GetParam() ^ 0xbad);
+  for (int round = 0; round < 10; ++round) {
+    auto h = random_register_history(24, 40, rng);
+    // Find a read and corrupt it to a value that is never written.
+    bool corrupted = false;
+    for (auto& op : h.ops) {
+      if (op.kind == Operation::Kind::kRead) {
+        op.value = -777;
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) continue;
+    EXPECT_FALSE(check_with_points(h.ops, h.points, 0).ok);
+    EXPECT_FALSE(check_linearizable(h.ops, 0).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerCross,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// The same construction for the FIFO queue checker.
+std::vector<QueueOp> random_queue_history(int n, Duration fuzz, Rng& rng) {
+  std::vector<QueueOp> ops;
+  std::deque<std::int64_t> q;
+  Time p = 10;
+  for (int k = 0; k < n; ++k) {
+    p += 1 + rng.uniform(0, fuzz);
+    QueueOp op;
+    op.proc = static_cast<int>(rng.index(4));
+    op.inv = std::max<Time>(0, p - rng.uniform(0, fuzz));
+    op.res = p + rng.uniform(0, fuzz);
+    if (rng.flip(0.5)) {
+      op.kind = QueueOp::Kind::kEnq;
+      op.value = k + 1000;
+      q.push_back(op.value);
+    } else {
+      op.kind = QueueOp::Kind::kDeq;
+      if (q.empty()) {
+        op.value = -1;
+      } else {
+        op.value = q.front();
+        q.pop_front();
+      }
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST_P(CheckerCross, GeneratedQueueHistoriesAccepted) {
+  Rng rng(GetParam() ^ 0x9ece);
+  for (int round = 0; round < 10; ++round) {
+    const auto ops = random_queue_history(20, 40, rng);
+    const auto r = check_linearizable_queue(ops);
+    EXPECT_TRUE(r.ok) << "round " << round << ": " << r.why;
+  }
+}
+
+TEST_P(CheckerCross, CorruptedDequeueRejected) {
+  Rng rng(GetParam() ^ 0xdead);
+  for (int round = 0; round < 10; ++round) {
+    auto ops = random_queue_history(20, 40, rng);
+    bool corrupted = false;
+    for (auto& op : ops) {
+      if (op.kind == QueueOp::Kind::kDeq && op.value >= 0) {
+        op.value = -777;
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) continue;
+    EXPECT_FALSE(check_linearizable_queue(ops).ok);
+  }
+}
+
+// --- scale smoke ---------------------------------------------------------------
+
+TEST(ScaleTest, TenNodeRegisterSystemChecksOut) {
+  RwRunConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(40);
+  cfg.c = microseconds(30);
+  cfg.ops_per_node = 6;
+  cfg.think_max = microseconds(500);
+  cfg.horizon = seconds(10);
+  ZigzagDrift drift(0.3);
+  const auto run = run_rw_clock(cfg, drift);
+  ASSERT_EQ(run.ops.size(), 60u);
+  const auto lin = check_linearizable(run.ops, cfg.v0);
+  EXPECT_TRUE(lin.ok && lin.conclusive) << lin.why;
+}
+
+}  // namespace
+}  // namespace psc

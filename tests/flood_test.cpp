@@ -1,0 +1,144 @@
+// Tests for the flooding broadcast with time-based termination: soundness
+// in the timed model, the Theorem 4.7 design rule in the clock model, and
+// the naive-bound ablation.
+#include <gtest/gtest.h>
+
+#include "algos/flood.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "transform/clock_system.hpp"
+
+namespace psc {
+namespace {
+
+TimedTrace run_flood_timed(const Graph& g, int source, int hops_bound,
+                           Duration d2_design, Duration d2_real,
+                           Duration margin, std::uint64_t seed) {
+  Executor exec({.horizon = seconds(10), .seed = seed});
+  ChannelConfig cc;
+  cc.d1 = d2_real / 4;
+  cc.d2 = d2_real;
+  cc.seed = seed;
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, source, 0xf100d, hops_bound,
+                                    d2_design, margin));
+  exec.run();
+  return exec.events();
+}
+
+TimedTrace run_flood_clock(const Graph& g, int source, int hops_bound,
+                           Duration d2_design, Duration d2_real,
+                           Duration margin, Duration eps,
+                           const DriftModel& drift, std::uint64_t seed,
+                           bool max_delays = true) {
+  Executor exec({.horizon = seconds(10), .seed = seed});
+  std::vector<std::shared_ptr<const ClockTrajectory>> trajs;
+  Rng seeder(seed ^ 0xf1);
+  for (int i = 0; i < g.n; ++i) {
+    Rng r = seeder.split();
+    trajs.push_back(std::make_shared<ClockTrajectory>(
+        drift.generate(eps, seconds(10), r)));
+  }
+  ChannelConfig cc;
+  cc.d1 = 0;
+  cc.d2 = d2_real;
+  if (max_delays) {
+    cc.policy = [] { return DelayPolicy::always_max(); };
+  }
+  cc.seed = seed;
+  add_clock_system(
+      exec, g, cc,
+      make_flood_nodes(g, source, 0xf100d, hops_bound, d2_design, margin),
+      trajs);
+  exec.run();
+  return exec.events();
+}
+
+TEST(FloodTimedTest, RingFloodDeliversEverywhereBeforeComplete) {
+  const Graph g = Graph::ring(6);  // directed ring: eccentricity 5
+  const Duration d2 = microseconds(100);
+  const auto trace = run_flood_timed(g, 0, 5, d2, d2, 1, 1);
+  EXPECT_TRUE(flood_safe(trace, 6));
+}
+
+TEST(FloodTimedTest, CompleteGraphSingleHop) {
+  const Graph g = Graph::complete(5);
+  const Duration d2 = microseconds(100);
+  const auto trace = run_flood_timed(g, 2, 1, d2, d2, 1, 3);
+  EXPECT_TRUE(flood_safe(trace, 5));
+}
+
+TEST(FloodTimedTest, UnderestimatedHopsBoundIsUnsound) {
+  // hops_bound below the ring eccentricity announces too early.
+  const Graph g = Graph::ring(6);
+  const Duration d2 = microseconds(100);
+  // Max-delay channels realize the worst case deterministically.
+  Executor exec({.horizon = seconds(10), .seed = 1});
+  ChannelConfig cc;
+  cc.d1 = 0;
+  cc.d2 = d2;
+  cc.policy = [] { return DelayPolicy::always_max(); };
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, 0, 1, /*hops_bound=*/3, d2, 1));
+  exec.run();
+  EXPECT_FALSE(flood_safe(exec.events(), 6));
+}
+
+class FloodClockSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloodClockSeeds, TheoremRuleKeepsAnnouncementSound) {
+  // Design rule: per-hop budget d2' = d2 + 2 eps.
+  const Graph g = Graph::ring(5);
+  const Duration d2 = microseconds(100), eps = microseconds(40);
+  OpposingOffsetDrift drift;
+  const auto trace = run_flood_clock(g, 0, 4, timed_d2(d2, eps), d2,
+                                     microseconds(1), eps, drift, GetParam());
+  EXPECT_TRUE(flood_safe(trace, 5));
+}
+
+TEST_P(FloodClockSeeds, NaiveBudgetAnnouncesTooEarly) {
+  // d2_design = d2 with a sub-eps margin: the source's fast clock reaches
+  // the announcement time up to eps of real time early, while max-delay
+  // messages are still in flight.
+  const Graph g = Graph::ring(5);
+  const Duration d2 = microseconds(100), eps = microseconds(40);
+  OpposingOffsetDrift drift;
+  bool violated = false;
+  for (std::uint64_t seed = GetParam(); seed < GetParam() + 10 && !violated;
+       ++seed) {
+    const auto trace = run_flood_clock(g, 0, 4, d2, d2, microseconds(1), eps,
+                                       drift, seed);
+    if (!flood_safe(trace, 5)) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloodClockSeeds, ::testing::Values(1, 101));
+
+TEST(FloodTest, DuplicateSuppression) {
+  // In a complete graph every node receives n-1 copies but delivers once.
+  const Graph g = Graph::complete(4);
+  const Duration d2 = microseconds(50);
+  const auto trace = run_flood_timed(g, 0, 1, d2, d2, 1, 9);
+  EXPECT_EQ(project_name(trace, "DELIVER").size(), 4u);
+  // Everyone relays: 4 nodes x 3 peers = 12 sends.
+  EXPECT_EQ(project_name(trace, "SENDMSG").size(), 12u);
+}
+
+TEST(FloodTest, SafetyCheckerRejectsMissingDeliveries) {
+  TimedTrace tr;
+  TimedEvent e;
+  e.action = make_action("DELIVER", 0);
+  e.time = 5;
+  tr.push_back(e);
+  e.action = make_action("COMPLETE", 0);
+  e.time = 10;
+  tr.push_back(e);
+  EXPECT_TRUE(flood_safe(tr, 1));
+  EXPECT_FALSE(flood_safe(tr, 2));   // one delivery missing
+  tr[0].time = 11;
+  EXPECT_FALSE(flood_safe(tr, 1));   // delivery after COMPLETE
+}
+
+}  // namespace
+}  // namespace psc

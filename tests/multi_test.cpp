@@ -1,0 +1,133 @@
+// Tests for the multi-object register generalization.
+#include <gtest/gtest.h>
+
+#include "rw/multi.hpp"
+
+namespace psc {
+namespace {
+
+using Kind = Operation::Kind;
+
+Operation op(int proc, Kind kind, std::int64_t v, Time inv, Time res,
+             std::int64_t obj) {
+  Operation o;
+  o.proc = proc;
+  o.kind = kind;
+  o.value = v;
+  o.inv = inv;
+  o.res = res;
+  o.obj = obj;
+  return o;
+}
+
+// --- multi-object checker -----------------------------------------------------
+
+TEST(MultiCheckTest, ObjectsAreIndependent) {
+  // Per-object fine, cross-object "inversion" is irrelevant.
+  std::vector<Operation> ops{
+      op(0, Kind::kWrite, 1, 0, 10, /*obj=*/0),
+      op(1, Kind::kWrite, 2, 0, 10, /*obj=*/1),
+      op(2, Kind::kRead, 1, 20, 21, 0),
+      op(2, Kind::kRead, 2, 22, 23, 1),
+      op(2, Kind::kRead, 1, 24, 25, 0),
+  };
+  EXPECT_TRUE(check_linearizable_multi(ops, 0));
+}
+
+TEST(MultiCheckTest, ViolationInOneObjectDetected) {
+  std::vector<Operation> ops{
+      op(0, Kind::kWrite, 1, 0, 10, 0),
+      op(2, Kind::kRead, 1, 20, 21, 0),
+      op(2, Kind::kRead, 0, 22, 23, 0),  // stale read after fresh: violation
+      op(1, Kind::kWrite, 9, 0, 10, 1),
+      op(2, Kind::kRead, 9, 30, 31, 1),
+  };
+  const auto r = check_linearizable_multi(ops, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.why.find("object 0"), std::string::npos);
+}
+
+TEST(MultiCheckTest, EmptyAndSingleObjectDegenerate) {
+  EXPECT_TRUE(check_linearizable_multi({}, 0));
+  std::vector<Operation> ops{op(0, Kind::kWrite, 5, 1, 2, 3),
+                             op(1, Kind::kRead, 5, 3, 4, 3)};
+  EXPECT_TRUE(check_linearizable_multi(ops, 0));
+}
+
+// --- the multi-object system ----------------------------------------------------
+
+RwRunConfig multi_config() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(50);
+  cfg.c = microseconds(40);
+  cfg.super = true;
+  cfg.ops_per_node = 15;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(10);
+  return cfg;
+}
+
+class MultiRwSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiRwSeeds, MultiObjectSystemIsLinearizablePerObject) {
+  RwRunConfig cfg = multi_config();
+  cfg.seed = GetParam();
+  ZigzagDrift drift(0.3);
+  const auto run = run_multi_rw_clock(cfg, drift, /*num_objects=*/4);
+  ASSERT_GE(run.ops.size(), 30u);
+  // The workload really does touch several objects.
+  std::set<std::int64_t> objs;
+  for (const auto& o : run.ops) objs.insert(o.obj);
+  EXPECT_GE(objs.size(), 3u);
+  EXPECT_TRUE(check_linearizable_multi(run.ops, cfg.v0)) << "seed "
+                                                         << GetParam();
+}
+
+TEST_P(MultiRwSeeds, SingleObjectModeMatchesSingleRegisterSemantics) {
+  RwRunConfig cfg = multi_config();
+  cfg.seed = GetParam();
+  PerfectDrift drift;
+  const auto run = run_multi_rw_clock(cfg, drift, /*num_objects=*/1);
+  ASSERT_GE(run.ops.size(), 30u);
+  for (const auto& o : run.ops) EXPECT_EQ(o.obj, 0);
+  EXPECT_TRUE(check_linearizable_multi(run.ops, cfg.v0));
+  // Latencies match the Theorem 6.5 bounds exactly under perfect clocks.
+  for (const Duration l : latencies(run.ops, Kind::kRead)) {
+    EXPECT_EQ(l, bound_read_clock(cfg));
+  }
+  for (const Duration l : latencies(run.ops, Kind::kWrite)) {
+    EXPECT_EQ(l, bound_write_clock(cfg));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRwSeeds, ::testing::Values(1, 2, 5, 9));
+
+TEST(MultiRwTest, ManyObjectsStillCorrectUnderHostileClocks) {
+  RwRunConfig cfg = multi_config();
+  cfg.ops_per_node = 20;
+  OpposingOffsetDrift drift;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    const auto run = run_multi_rw_clock(cfg, drift, /*num_objects=*/8);
+    EXPECT_TRUE(check_linearizable_multi(run.ops, cfg.v0)) << "seed " << seed;
+  }
+}
+
+TEST(MultiRwTest, PerObjectInitialValueIsV0) {
+  RwRunConfig cfg = multi_config();
+  cfg.write_fraction = 0.0;  // reads only: every read must return v0
+  cfg.v0 = 0;
+  PerfectDrift drift;
+  const auto run = run_multi_rw_clock(cfg, drift, 4);
+  ASSERT_GE(run.ops.size(), 30u);
+  for (const auto& o : run.ops) {
+    EXPECT_EQ(o.kind, Kind::kRead);
+    EXPECT_EQ(o.value, 0);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,129 @@
+// Randomized property tests for the =eps,kappa and <=delta,K relations:
+// legally perturbed traces are always related; order swaps within a class
+// and over-budget time moves are always rejected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/relations.hpp"
+#include "util/rng.hpp"
+
+namespace psc {
+namespace {
+
+// A random trace over `nodes` nodes with strictly spaced per-node events
+// (spacing > 2*eps so legal jitter can never reorder a node's events).
+TimedTrace random_trace(int nodes, int events_per_node, Duration spacing,
+                        Rng& rng) {
+  TimedTrace tr;
+  for (int n = 0; n < nodes; ++n) {
+    Time t = rng.uniform(0, spacing);
+    for (int k = 0; k < events_per_node; ++k) {
+      TimedEvent e;
+      e.action = make_action(rng.flip(0.5) ? "A" : "B", n,
+                             {Value{static_cast<std::int64_t>(k)}});
+      e.time = t;
+      tr.push_back(e);
+      t += spacing + rng.uniform(0, spacing);
+    }
+  }
+  return stable_sort_by_time(std::move(tr));
+}
+
+class RelationsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelationsProperty, LegalJitterIsAlwaysEqWithin) {
+  Rng rng(GetParam());
+  const Duration eps = 50;
+  const auto a = random_trace(3, 20, 5 * eps, rng);
+  TimedTrace b = a;
+  for (auto& e : b) {
+    e.time = std::max<Time>(0, e.time + rng.uniform(-eps, eps));
+  }
+  b = stable_sort_by_time(std::move(b));
+  const auto kappa = per_node_classes(3);
+  EXPECT_TRUE(eq_within(a, b, eps, kappa));
+  EXPECT_TRUE(eq_within(b, a, eps, kappa));  // symmetry
+}
+
+TEST_P(RelationsProperty, OverBudgetJitterIsRejected) {
+  Rng rng(GetParam());
+  const Duration eps = 50;
+  const auto a = random_trace(3, 20, 5 * eps, rng);
+  TimedTrace b = a;
+  // Push one event beyond the budget.
+  auto& victim = b[rng.index(b.size())];
+  victim.time += 2 * eps + 1;
+  b = stable_sort_by_time(std::move(b));
+  const auto kappa = per_node_classes(3);
+  EXPECT_FALSE(eq_within(a, b, eps, kappa));
+}
+
+TEST_P(RelationsProperty, SameNodeSwapIsRejected) {
+  Rng rng(GetParam());
+  const Duration eps = 50;
+  auto a = random_trace(2, 15, 5 * eps, rng);
+  // Find two adjacent same-node events with distinguishable actions and
+  // swap their order (times exchanged) — kappa order violated even though
+  // times stay within any eps >= their gap.
+  for (std::size_t k = 0; k + 1 < a.size(); ++k) {
+    for (std::size_t j = k + 1; j < a.size(); ++j) {
+      if (a[k].action.node == a[j].action.node &&
+          !(a[k].action == a[j].action)) {
+        TimedTrace b = a;
+        std::swap(b[k].action, b[j].action);
+        const Duration gap = a[j].time - a[k].time;
+        const auto kappa = per_node_classes(2);
+        EXPECT_FALSE(eq_within(a, b, gap + eps, kappa));
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "random trace had no distinguishable same-node pair";
+}
+
+TEST_P(RelationsProperty, ShiftWithinBudgetAccepted) {
+  Rng rng(GetParam());
+  const Duration delta = 100;
+  const auto a = random_trace(2, 15, 4 * delta, rng);
+  TimedTrace b = a;
+  // Shift class actions ("A" at node 0) forward by <= delta.
+  const std::vector<ActionClass> klasses = {
+      [](const Action& x) { return x.node == 0 && x.name == "A"; }};
+  for (auto& e : b) {
+    if (e.action.node == 0 && e.action.name == "A") {
+      e.time += rng.uniform(0, delta);
+    }
+  }
+  b = stable_sort_by_time(std::move(b));
+  EXPECT_TRUE(shifted_within(a, b, delta, klasses));
+  // Backward shifts rejected.
+  TimedTrace c = a;
+  for (auto& e : c) {
+    if (e.action.node == 0 && e.action.name == "A") {
+      e.time = std::max<Time>(0, e.time - 1);
+    }
+  }
+  bool changed = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].time != c[k].time) changed = true;
+  }
+  if (changed) {
+    EXPECT_FALSE(shifted_within(a, stable_sort_by_time(std::move(c)), delta,
+                                klasses));
+  }
+}
+
+TEST_P(RelationsProperty, ReflexivityAndZeroBudget) {
+  Rng rng(GetParam());
+  const auto a = random_trace(3, 10, 100, rng);
+  const auto kappa = per_node_classes(3);
+  EXPECT_TRUE(eq_within(a, a, 0, kappa));
+  EXPECT_TRUE(shifted_within(a, a, 0, kappa));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationsProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 11, 13, 17, 19, 23));
+
+}  // namespace
+}  // namespace psc

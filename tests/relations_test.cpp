@@ -1,0 +1,177 @@
+// Tests for the trace relations =eps,kappa (Def 2.8) and <=delta,K
+// (Def 2.9), and the problem relaxations P_eps / P^delta built on them.
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "core/relations.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+namespace {
+
+TimedEvent ev(std::string name, int node, Time t) {
+  TimedEvent e;
+  e.action = make_action(std::move(name), node);
+  e.time = t;
+  return e;
+}
+
+class EqWithinTest : public ::testing::Test {
+ protected:
+  std::vector<ActionClass> kappa_ = per_node_classes(2);
+};
+
+TEST_F(EqWithinTest, IdenticalTracesRelated) {
+  TimedTrace a{ev("X", 0, 10), ev("Y", 1, 20)};
+  EXPECT_TRUE(eq_within(a, a, 0, kappa_));
+}
+
+TEST_F(EqWithinTest, TimePerturbationWithinEps) {
+  TimedTrace a{ev("X", 0, 10), ev("Y", 1, 20)};
+  TimedTrace b{ev("X", 0, 13), ev("Y", 1, 17)};
+  EXPECT_TRUE(eq_within(a, b, 3, kappa_));
+  EXPECT_FALSE(eq_within(a, b, 2, kappa_));
+}
+
+TEST_F(EqWithinTest, PerNodeOrderMustBePreserved) {
+  // Two actions at node 0; swapping their relative order is not allowed
+  // even if every time is within eps.
+  TimedTrace a{ev("X", 0, 10), ev("Y", 0, 11)};
+  TimedTrace b{ev("Y", 0, 10), ev("X", 0, 11)};
+  EXPECT_FALSE(eq_within(a, b, 100, kappa_));
+}
+
+TEST_F(EqWithinTest, CrossNodeReorderAllowed) {
+  // Actions at different nodes may reorder freely (they are in different
+  // kappa classes).
+  TimedTrace a{ev("X", 0, 10), ev("Y", 1, 11)};
+  TimedTrace b{ev("Y", 1, 9), ev("X", 0, 12)};
+  EXPECT_TRUE(eq_within(a, b, 2, kappa_));
+}
+
+TEST_F(EqWithinTest, LengthMismatchRejected) {
+  TimedTrace a{ev("X", 0, 10)};
+  TimedTrace b{ev("X", 0, 10), ev("X", 0, 11)};
+  EXPECT_FALSE(eq_within(a, b, 100, kappa_));
+}
+
+TEST_F(EqWithinTest, ActionContentMustMatch) {
+  TimedTrace a{ev("X", 0, 10)};
+  TimedTrace b{ev("Z", 0, 10)};
+  EXPECT_FALSE(eq_within(a, b, 100, kappa_));
+}
+
+TEST_F(EqWithinTest, UnclassedActionsMatchOptimally) {
+  // node -1 actions are in no kappa class: matching is by action identity
+  // with optimal (sorted) time pairing.
+  TimedTrace a{ev("U", kNoNode, 10), ev("U", kNoNode, 20)};
+  TimedTrace b{ev("U", kNoNode, 19), ev("U", kNoNode, 11)};
+  EXPECT_TRUE(eq_within(a, b, 1, kappa_));
+  EXPECT_FALSE(eq_within(a, b, 0, kappa_));
+}
+
+TEST_F(EqWithinTest, SymmetricOnExamples) {
+  TimedTrace a{ev("X", 0, 10), ev("Y", 1, 20)};
+  TimedTrace b{ev("X", 0, 12), ev("Y", 1, 18)};
+  EXPECT_EQ(eq_within(a, b, 2, kappa_).related,
+            eq_within(b, a, 2, kappa_).related);
+}
+
+TEST_F(EqWithinTest, FailureCarriesExplanation) {
+  TimedTrace a{ev("X", 0, 10)};
+  TimedTrace b{ev("X", 0, 50)};
+  const auto r = eq_within(a, b, 2, kappa_);
+  EXPECT_FALSE(r.related);
+  EXPECT_FALSE(r.why.empty());
+}
+
+// --- <=delta,K --------------------------------------------------------------
+
+class ShiftedWithinTest : public ::testing::Test {
+ protected:
+  // Class: node-0 outputs named "OUT".
+  std::vector<ActionClass> klasses_ =
+      per_node_output_classes(1, {"OUT"});
+};
+
+TEST_F(ShiftedWithinTest, OutputsMayShiftForwardUpToDelta) {
+  TimedTrace a{ev("OUT", 0, 10)};
+  TimedTrace b{ev("OUT", 0, 14)};
+  EXPECT_TRUE(shifted_within(a, b, 4, klasses_));
+  EXPECT_FALSE(shifted_within(a, b, 3, klasses_));
+}
+
+TEST_F(ShiftedWithinTest, OutputsMayNotShiftBackward) {
+  TimedTrace a{ev("OUT", 0, 10)};
+  TimedTrace b{ev("OUT", 0, 9)};
+  EXPECT_FALSE(shifted_within(a, b, 100, klasses_));
+}
+
+TEST_F(ShiftedWithinTest, NonOutputsKeepExactTimes) {
+  TimedTrace a{ev("IN", 0, 10)};
+  TimedTrace b{ev("IN", 0, 11)};
+  EXPECT_FALSE(shifted_within(a, b, 100, klasses_));
+  EXPECT_TRUE(shifted_within(a, a, 0, klasses_));
+}
+
+TEST_F(ShiftedWithinTest, ClassOrderPreserved) {
+  TimedTrace a{ev("OUT", 0, 10), ev("OUT", 0, 20)};
+  // Same multiset of times but the occurrences swapped: with identical
+  // actions this is indistinguishable, so use distinguishable args.
+  TimedTrace b{ev("OUT", 0, 12), ev("OUT", 0, 22)};
+  EXPECT_TRUE(shifted_within(a, b, 2, klasses_));
+}
+
+TEST_F(ShiftedWithinTest, OutputMayOvertakeNonClassAction) {
+  // OUT at 10 shifts past IN at 12 — allowed: order against actions outside
+  // the class need not be preserved.
+  TimedTrace a{ev("OUT", 0, 10), ev("IN", 0, 12)};
+  TimedTrace b{ev("IN", 0, 12), ev("OUT", 0, 13)};
+  EXPECT_TRUE(shifted_within(a, b, 3, klasses_));
+}
+
+// --- problems ---------------------------------------------------------------
+
+TEST(ProblemTest, PredicateProblem) {
+  PredicateProblem p("nonempty",
+                     [](const TimedTrace& t) { return !t.empty(); });
+  EXPECT_FALSE(p.contains({}));
+  EXPECT_TRUE(p.contains({ev("X", 0, 1)}));
+}
+
+TEST(ProblemTest, EpsilonRelaxationWithWitness) {
+  // Base problem: the unique action occurs at exactly t=10.
+  PredicateProblem p("at10", [](const TimedTrace& t) {
+    return t.size() == 1 && t[0].time == 10;
+  });
+  EpsilonRelaxation pe(p, /*eps=*/3, /*num_nodes=*/1);
+  const TimedTrace witness{ev("X", 0, 10)};
+  const TimedTrace shifted{ev("X", 0, 12)};
+  const TimedTrace too_far{ev("X", 0, 15)};
+  EXPECT_TRUE(pe.contains_with_witness(shifted, witness));
+  EXPECT_FALSE(pe.contains_with_witness(too_far, witness));
+  // Witness must itself be in the base problem.
+  EXPECT_FALSE(pe.contains_with_witness(shifted, shifted));
+}
+
+TEST(ProblemTest, ShiftRelaxationWithWitness) {
+  PredicateProblem p("at10", [](const TimedTrace& t) {
+    return t.size() == 1 && t[0].time == 10;
+  });
+  ShiftRelaxation ps(p, /*delta=*/5, /*num_nodes=*/1, {"X"});
+  EXPECT_TRUE(ps.contains_with_witness({ev("X", 0, 14)}, {ev("X", 0, 10)}));
+  EXPECT_FALSE(ps.contains_with_witness({ev("X", 0, 16)}, {ev("X", 0, 10)}));
+  EXPECT_FALSE(ps.contains_with_witness({ev("X", 0, 9)}, {ev("X", 0, 10)}));
+}
+
+TEST(ProblemTest, DisjointClassViolationIsDetected) {
+  // Two identical predicates => overlapping classes must be rejected.
+  std::vector<ActionClass> bad;
+  bad.push_back([](const Action&) { return true; });
+  bad.push_back([](const Action&) { return true; });
+  TimedTrace a{ev("X", 0, 1)};
+  EXPECT_THROW(eq_within(a, a, 0, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace psc

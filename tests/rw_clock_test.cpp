@@ -1,0 +1,213 @@
+// Integration tests for the clock model (Theorem 6.5 and the Section 6.3
+// comparison): the Simulation-1 transform of algorithm S is linearizable
+// under every drift model; the sliced baseline is linearizable; the
+// ablations (no buffers / no 2eps wait) expose why both mechanisms exist.
+#include <gtest/gtest.h>
+
+#include "rw/harness.hpp"
+#include "rw/problem.hpp"
+
+namespace psc {
+namespace {
+
+RwRunConfig base_config() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(60);  // d1 << 2 eps: buffering genuinely needed
+  cfg.c = microseconds(50);
+  cfg.delta = 1;
+  cfg.super = true;
+  cfg.ops_per_node = 10;
+  cfg.think_min = 0;
+  cfg.think_max = microseconds(400);
+  cfg.write_fraction = 0.5;
+  cfg.horizon = seconds(5);
+  return cfg;
+}
+
+struct Case {
+  std::uint64_t seed;
+  std::size_t drift;  // index into standard_drift_models()
+};
+
+class RwClockAllDrifts
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(RwClockAllDrifts, TransformedSIsLinearizable) {
+  // Theorem 6.5: D_C(G, S^c_eps, E^c) solves P.
+  const auto [seed, drift_idx] = GetParam();
+  const auto models = standard_drift_models();
+  RwRunConfig cfg = base_config();
+  cfg.seed = seed;
+  const auto result = run_rw_clock(cfg, *models[drift_idx]);
+  ASSERT_GE(result.ops.size(), 20u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0))
+      << "drift=" << models[drift_idx]->name() << " seed=" << seed;
+}
+
+TEST_P(RwClockAllDrifts, SlicedBaselineIsLinearizable) {
+  const auto [seed, drift_idx] = GetParam();
+  const auto models = standard_drift_models();
+  RwRunConfig cfg = base_config();
+  cfg.seed = seed;
+  const auto result = run_rw_sliced(cfg, *models[drift_idx]);
+  ASSERT_GE(result.ops.size(), 20u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0))
+      << "drift=" << models[drift_idx]->name() << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByDrifts, RwClockAllDrifts,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 7),
+                       ::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5)));
+
+TEST(RwClockTest, LatenciesRespectTheoremBoundsPlusDrift) {
+  // Clock-time waits are exact; real-time latency differs from the clock
+  // bound by at most the skew change over the operation, i.e. <= 2 eps.
+  const auto models = standard_drift_models();
+  RwRunConfig cfg = base_config();
+  for (const auto& model : models) {
+    const auto result = run_rw_clock(cfg, *model);
+    for (const Duration lr : latencies(result.ops, Operation::Kind::kRead)) {
+      EXPECT_LE(lr, bound_read_clock(cfg) + 2 * cfg.eps) << model->name();
+      EXPECT_GE(lr, bound_read_clock(cfg) - 2 * cfg.eps) << model->name();
+    }
+    for (const Duration lw : latencies(result.ops, Operation::Kind::kWrite)) {
+      EXPECT_LE(lw, bound_write_clock(cfg) + 2 * cfg.eps) << model->name();
+      EXPECT_GE(lw, bound_write_clock(cfg) - 2 * cfg.eps) << model->name();
+    }
+  }
+}
+
+TEST(RwClockTest, PerfectClocksGiveExactClockBounds) {
+  PerfectDrift perfect;
+  RwRunConfig cfg = base_config();
+  const auto result = run_rw_clock(cfg, perfect);
+  for (const Duration lr : latencies(result.ops, Operation::Kind::kRead)) {
+    EXPECT_EQ(lr, bound_read_clock(cfg));
+  }
+  for (const Duration lw : latencies(result.ops, Operation::Kind::kWrite)) {
+    EXPECT_EQ(lw, bound_write_clock(cfg));
+  }
+}
+
+TEST(RwClockTest, OurReadsBeatBaselineReadsForSmallC) {
+  // Section 6.3: ours reads cost ~ c + u (+delta), baseline 4u worst-case.
+  RwRunConfig cfg = base_config();
+  cfg.c = 0;
+  ZigzagDrift drift(0.25);
+  const auto ours = run_rw_clock(cfg, drift);
+  const auto base = run_rw_sliced(cfg, drift);
+  const auto ours_r = latencies(ours.ops, Operation::Kind::kRead);
+  const auto base_r = latencies(base.ops, Operation::Kind::kRead);
+  ASSERT_FALSE(ours_r.empty());
+  ASSERT_FALSE(base_r.empty());
+  const auto max_of = [](const std::vector<Duration>& v) {
+    return *std::max_element(v.begin(), v.end());
+  };
+  EXPECT_LT(max_of(ours_r), max_of(base_r));
+}
+
+TEST(RwClockTest, BufferingOnlyWhenD1BelowTwoEps) {
+  // Section 7.2: when d1 >= 2 eps no message can arrive "early" in clock
+  // time, so the receive buffers never hold anything.
+  RwRunConfig cfg = base_config();
+  cfg.d1 = 2 * cfg.eps + microseconds(5);
+  cfg.d2 = cfg.d1 + microseconds(200);
+  ZigzagDrift drift(0.25);
+  const auto result = run_rw_clock(cfg, drift);
+  EXPECT_GT(result.buffer_totals.received, 0u);
+  EXPECT_EQ(result.buffer_totals.buffered, 0u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0));
+
+  // And with d1 = 0 and extreme skews, holds do occur.
+  RwRunConfig cfg2 = base_config();
+  cfg2.d1 = 0;
+  cfg2.d2 = microseconds(40);  // < 2 eps
+  cfg2.c = 0;  // keep c within [0, d2' - 2eps] for the smaller d2
+  std::size_t buffered = 0;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    cfg2.seed = seed;
+    const auto r2 = run_rw_clock(cfg2, drift);
+    buffered += r2.buffer_totals.buffered;
+  }
+  EXPECT_GT(buffered, 0u);
+}
+
+TEST(RwClockTest, AlgorithmSIsSelfBufferingEvenWithoutReceiveBuffers) {
+  // A notable reproduction finding: algorithm S schedules every update's
+  // effect d2' = d2 + 2eps ahead of the *sender's* clock, which provably
+  // lies in every receiver's clock future (delivery clock <= send clock +
+  // d2 + 2eps < effect time). S is therefore "self-buffering": dropping the
+  // Simulation-1 receive buffers cannot break it. The buffers matter for
+  // receive-time-sensitive algorithms — see buffers_test's tag-echo
+  // ablation for the violation the transformation prevents in general.
+  RwRunConfig cfg = base_config();
+  cfg.d1 = 0;
+  cfg.d2 = microseconds(30);  // << 2 eps = 120us
+  cfg.c = 0;
+  cfg.super = true;
+  cfg.think_max = microseconds(50);
+  cfg.ops_per_node = 15;
+  OpposingOffsetDrift drift;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto result = run_rw_clock_nobuffer(cfg, drift);
+    EXPECT_TRUE(check_linearizable(result.ops, cfg.v0)) << "seed=" << seed;
+  }
+}
+
+TEST(RwClockTest, AblationAlgorithmLInClockModelCanViolate) {
+  // E9: run L (no 2eps read wait) through Simulation 1. L only solves P_eps,
+  // not P: sufficiently adversarial clocks make some history
+  // non-linearizable, which is why S adds the 2eps wait.
+  RwRunConfig cfg = base_config();
+  cfg.super = false;  // algorithm L
+  cfg.c = 0;
+  cfg.d1 = 0;
+  cfg.d2 = microseconds(100);
+  cfg.think_max = microseconds(30);
+  cfg.ops_per_node = 15;
+  bool violated = false;
+  // Opposite constant skews are the textbook adversary for L.
+  OpposingOffsetDrift drift;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    cfg.seed = seed;
+    const auto result = run_rw_clock(cfg, drift);
+    if (!check_linearizable(result.ops, cfg.v0).ok) violated = true;
+  }
+  EXPECT_TRUE(violated)
+      << "algorithm L never violated plain linearizability in the clock "
+         "model; the 2eps wait of algorithm S would look unnecessary";
+}
+
+TEST(RwClockTest, TransformedLStillSolvesPEpsilon) {
+  // Theorem 4.7 for L: traces of the transformed system lie in P_eps — we
+  // verify via the epsilon-relaxed operation intervals: widening every
+  // operation interval by eps on both sides must restore linearizability.
+  RwRunConfig cfg = base_config();
+  cfg.super = false;
+  cfg.c = 0;
+  cfg.d1 = 0;
+  cfg.d2 = microseconds(100);
+  cfg.think_max = microseconds(30);
+  cfg.ops_per_node = 15;
+  OpposingOffsetDrift drift;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto result = run_rw_clock(cfg, drift);
+    auto widened = result.ops;
+    for (auto& op : widened) {
+      // eps plus a couple of ns of integer-grid rounding slack.
+      op.inv -= cfg.eps + 2;
+      op.res += cfg.eps + 2;
+    }
+    EXPECT_TRUE(check_linearizable(widened, cfg.v0)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,154 @@
+// Integration tests for algorithms L and S in the *timed* model
+// (Lemmas 6.1 and 6.2): exact latency bounds, linearizability, and
+// eps-superlinearizability of S.
+#include <gtest/gtest.h>
+
+#include "rw/harness.hpp"
+#include "rw/problem.hpp"
+
+namespace psc {
+namespace {
+
+RwRunConfig base_config() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.d1 = microseconds(50);
+  cfg.d2 = microseconds(400);
+  cfg.eps = microseconds(30);
+  cfg.c = microseconds(100);
+  cfg.delta = 1;
+  cfg.ops_per_node = 12;
+  cfg.think_min = 0;
+  cfg.think_max = microseconds(300);
+  cfg.write_fraction = 0.5;
+  cfg.horizon = seconds(5);
+  return cfg;
+}
+
+class RwTimedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RwTimedSeeds, AlgorithmSIsLinearizableAndSuper) {
+  RwRunConfig cfg = base_config();
+  cfg.super = true;
+  cfg.seed = GetParam();
+  const auto result = run_rw_timed(cfg);
+  ASSERT_GE(result.ops.size(), 30u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0))
+      << "seed " << GetParam();
+  // Lemma 6.2: S solves Q — eps-superlinearizable.
+  EXPECT_TRUE(check_superlinearizable(result.ops, cfg.v0, 2 * cfg.eps))
+      << "seed " << GetParam();
+}
+
+TEST_P(RwTimedSeeds, AlgorithmLIsLinearizable) {
+  RwRunConfig cfg = base_config();
+  cfg.super = false;
+  cfg.seed = GetParam();
+  const auto result = run_rw_timed(cfg);
+  ASSERT_GE(result.ops.size(), 30u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0)) << "seed " << GetParam();
+}
+
+TEST_P(RwTimedSeeds, LatenciesAreExactlyThePaperBounds) {
+  // In the timed model every wait is deterministic: read latency is exactly
+  // c + 2eps + delta (S) and write latency exactly d2' - c.
+  for (bool super : {false, true}) {
+    RwRunConfig cfg = base_config();
+    cfg.super = super;
+    cfg.seed = GetParam();
+    const auto result = run_rw_timed(cfg);
+    for (const Duration lr : latencies(result.ops, Operation::Kind::kRead)) {
+      EXPECT_EQ(lr, bound_read_timed(cfg)) << "super=" << super;
+    }
+    for (const Duration lw : latencies(result.ops, Operation::Kind::kWrite)) {
+      EXPECT_EQ(lw, bound_write_timed(cfg)) << "super=" << super;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwTimedSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(RwTimedTest, TraceIsInProblemP) {
+  RwRunConfig cfg = base_config();
+  const auto result = run_rw_timed(cfg);
+  LinearizableProblem p(cfg.v0);
+  // Build the external trace from client ops is implicit; use the visible
+  // trace filtered to the register interface.
+  const TimedTrace external = project(visible_trace(result.events),
+                                      [](const TimedEvent& e) {
+                                        const auto& n = e.action.name;
+                                        return n == "READ" || n == "WRITE" ||
+                                               n == "RETURN" || n == "ACK";
+                                      });
+  EXPECT_TRUE(p.contains(external));
+}
+
+TEST(RwTimedTest, CZeroMakesReadsFastWritesSlow) {
+  RwRunConfig cfg = base_config();
+  cfg.super = false;
+  cfg.c = 0;
+  const auto result = run_rw_timed(cfg);
+  const auto rl = latencies(result.ops, Operation::Kind::kRead);
+  const auto wl = latencies(result.ops, Operation::Kind::kWrite);
+  ASSERT_FALSE(rl.empty());
+  ASSERT_FALSE(wl.empty());
+  EXPECT_EQ(rl[0], cfg.delta);    // c = 0: read costs only delta
+  EXPECT_EQ(wl[0], cfg.d2);       // write pays the whole d2
+}
+
+TEST(RwTimedTest, CMaxMakesWritesFast) {
+  RwRunConfig cfg = base_config();
+  cfg.super = false;
+  cfg.c = cfg.d2;  // extreme end of the tradeoff
+  const auto result = run_rw_timed(cfg);
+  const auto wl = latencies(result.ops, Operation::Kind::kWrite);
+  ASSERT_FALSE(wl.empty());
+  EXPECT_EQ(wl[0], 0);  // write acks immediately
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0));
+}
+
+TEST(RwTimedTest, ReadSumWriteIsConstantAcrossC) {
+  // Lemma 6.1: read + write = d2 + delta regardless of c (the tradeoff).
+  for (Duration c : {Duration{0}, microseconds(100), microseconds(250)}) {
+    RwRunConfig cfg = base_config();
+    cfg.super = false;
+    cfg.c = c;
+    EXPECT_EQ(bound_read_timed(cfg) + bound_write_timed(cfg),
+              cfg.d2 + cfg.delta);
+    const auto result = run_rw_timed(cfg);
+    EXPECT_TRUE(check_linearizable(result.ops, cfg.v0)) << "c=" << c;
+  }
+}
+
+TEST(RwTimedTest, SingleNodeDegenerateCase) {
+  RwRunConfig cfg = base_config();
+  cfg.num_nodes = 1;
+  cfg.ops_per_node = 20;
+  const auto result = run_rw_timed(cfg);
+  ASSERT_EQ(result.ops.size(), 20u);
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0));
+}
+
+TEST(RwTimedTest, WriteOnlyAndReadOnlyWorkloads) {
+  for (double wf : {0.0, 1.0}) {
+    RwRunConfig cfg = base_config();
+    cfg.write_fraction = wf;
+    const auto result = run_rw_timed(cfg);
+    ASSERT_GE(result.ops.size(), 30u);
+    EXPECT_TRUE(check_linearizable(result.ops, cfg.v0)) << "wf=" << wf;
+  }
+}
+
+TEST(RwTimedTest, ZeroThinkTimeBackToBackOps) {
+  RwRunConfig cfg = base_config();
+  cfg.think_min = cfg.think_max = 0;
+  cfg.ops_per_node = 15;
+  const auto result = run_rw_timed(cfg);
+  ASSERT_EQ(result.ops.size(),
+            static_cast<std::size_t>(cfg.num_nodes * cfg.ops_per_node));
+  EXPECT_TRUE(check_linearizable(result.ops, cfg.v0));
+}
+
+}  // namespace
+}  // namespace psc

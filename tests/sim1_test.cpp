@@ -1,0 +1,92 @@
+// Executable Theorem 4.6 / 4.7 (E5): for clock-model runs of the register
+// system under every drift model, the gamma_alpha construction yields a
+// valid timed-model schedule (clock-time message delays inside
+// [max(d1-2eps,0), d2+2eps]) that is =eps-equivalent to the observed trace.
+#include <gtest/gtest.h>
+
+#include "rw/harness.hpp"
+#include "transform/clock_system.hpp"
+#include "transform/gamma.hpp"
+
+namespace psc {
+namespace {
+
+RwRunConfig sim_config() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(10);
+  cfg.d2 = microseconds(250);
+  cfg.eps = microseconds(50);
+  cfg.c = microseconds(40);
+  cfg.super = true;
+  cfg.ops_per_node = 10;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(5);
+  return cfg;
+}
+
+class Sim1AllDrifts
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(Sim1AllDrifts, GammaIsValidAndEpsEquivalent) {
+  const auto [seed, drift_idx] = GetParam();
+  const auto models = standard_drift_models();
+  RwRunConfig cfg = sim_config();
+  cfg.seed = seed;
+  const auto run = run_rw_clock(cfg, *models[drift_idx]);
+  const auto check = check_simulation1(run.events, run.trajectories, cfg.d1,
+                                       cfg.d2, cfg.eps);
+  EXPECT_TRUE(check.delays_ok)
+      << models[drift_idx]->name() << ": clock delay range ["
+      << format_time(check.min_clock_delay) << ", "
+      << format_time(check.max_clock_delay) << "] outside ["
+      << format_time(timed_d1(cfg.d1, cfg.eps)) << ", "
+      << format_time(timed_d2(cfg.d2, cfg.eps)) << "]";
+  EXPECT_GT(check.messages, 20u);
+  EXPECT_TRUE(check.trace_equiv.related) << check.trace_equiv.why;
+  EXPECT_LE(check.max_perturbation, cfg.eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByDrifts, Sim1AllDrifts,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 4, 9),
+                       ::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5)));
+
+TEST(Sim1Test, PerturbationScalesWithEps) {
+  // The =eps bound is tight-ish: with +eps offset clocks the perturbation
+  // approaches eps.
+  RwRunConfig cfg = sim_config();
+  OffsetDrift plus(+1.0);
+  const auto run = run_rw_clock(cfg, plus);
+  const auto check = check_simulation1(run.events, run.trajectories, cfg.d1,
+                                       cfg.d2, cfg.eps);
+  EXPECT_TRUE(check.ok());
+  EXPECT_GE(check.max_perturbation, cfg.eps / 2);
+  EXPECT_LE(check.max_perturbation, cfg.eps);
+}
+
+TEST(Sim1Test, PerfectClocksGiveZeroPerturbation) {
+  RwRunConfig cfg = sim_config();
+  PerfectDrift perfect;
+  const auto run = run_rw_clock(cfg, perfect);
+  const auto check = check_simulation1(run.events, run.trajectories, cfg.d1,
+                                       cfg.d2, cfg.eps);
+  EXPECT_TRUE(check.ok());
+  EXPECT_EQ(check.max_perturbation, 0);
+  // With perfect clocks gamma's delays are the real delays: within [d1,d2].
+  EXPECT_GE(check.min_clock_delay, cfg.d1);
+  EXPECT_LE(check.max_clock_delay, cfg.d2);
+}
+
+TEST(Sim1Test, GammaVisibleIsTimeOrderedAndComplete) {
+  RwRunConfig cfg = sim_config();
+  ZigzagDrift drift(0.3);
+  const auto run = run_rw_clock(cfg, drift);
+  const auto gamma = gamma_visible(run.events, run.trajectories);
+  EXPECT_TRUE(is_time_ordered(gamma));
+  EXPECT_EQ(gamma.size(), visible_trace(run.events).size());
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,66 @@
+// Theorem 4.7 through the Problem API: the clock-model register system's
+// external trace lies in P_eps, exhibited with the gamma_alpha witness of
+// Def 4.2 — gamma is a trace of the simulated timed execution (so it is in
+// tseq(P), i.e. linearizable) and it is =eps,kappa-equivalent to the
+// observed trace. This ties together problems, relations, the gamma
+// construction, and the linearizability checker in one statement.
+#include <gtest/gtest.h>
+
+#include "rw/harness.hpp"
+#include "rw/problem.hpp"
+#include "transform/gamma.hpp"
+
+namespace psc {
+namespace {
+
+TimedTrace external_only(const TimedTrace& events) {
+  return project(events, [](const TimedEvent& e) {
+    const auto& n = e.action.name;
+    return e.visible &&
+           (n == "READ" || n == "WRITE" || n == "RETURN" || n == "ACK");
+  });
+}
+
+class Theorem47 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem47, ClockTraceInPEpsWithGammaWitness) {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(250);
+  cfg.eps = microseconds(50);
+  cfg.c = microseconds(30);
+  cfg.super = true;  // S solves Q in the timed model, and Q ⊆ P
+  cfg.ops_per_node = 10;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(10);
+  cfg.seed = GetParam();
+
+  ZigzagDrift drift(0.35);
+  const auto run = run_rw_clock(cfg, drift);
+
+  const TimedTrace actual = external_only(run.events);
+  ASSERT_GE(actual.size(), 40u);
+  // The gamma_alpha witness: same events, clock-retimed (client-side
+  // events get the node clock per the Section 4.3 convention) and stably
+  // reordered, restricted to the external interface.
+  const TimedTrace witness = project(
+      gamma_visible(run.events, run.trajectories), [](const TimedEvent& e) {
+        const auto& n = e.action.name;
+        return n == "READ" || n == "WRITE" || n == "RETURN" || n == "ACK";
+      });
+
+  LinearizableProblem p(cfg.v0);
+  // eps plus integer-grid slack.
+  EpsilonRelaxation pe(p, cfg.eps + 2, cfg.num_nodes);
+  const auto verdict = pe.explain_witness(actual, witness);
+  EXPECT_TRUE(verdict.related) << verdict.why;
+  EXPECT_TRUE(pe.contains_with_witness(actual, witness));
+  // The witness itself is a P-trace: the simulated timed execution of S.
+  EXPECT_TRUE(p.contains(witness));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem47, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace psc

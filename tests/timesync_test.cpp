@@ -1,0 +1,149 @@
+// Tests for Cristian-style time sync over the clock model: the estimate's
+// error bound holds against ground truth (which the test computes from the
+// trajectories — the machines themselves never see it).
+#include <gtest/gtest.h>
+
+#include "algos/timesync.hpp"
+#include "runtime/clocked.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+
+namespace psc {
+namespace {
+
+struct SyncRun {
+  std::vector<SyncSample> samples;
+  std::shared_ptr<const ClockTrajectory> client_traj;
+  std::shared_ptr<const ClockTrajectory> server_traj;
+  TimedTrace events;
+};
+
+SyncRun run_sync(const DriftModel& client_drift, Duration d1, Duration d2,
+                 Duration eps, int probes, std::uint64_t seed) {
+  Executor exec({.horizon = seconds(2), .seed = seed});
+  Rng rng(seed ^ 0x515);
+  // Node 0: client on a drifting clock. Node 1: server on a true-time
+  // source (perfect trajectory).
+  auto ct = std::make_shared<ClockTrajectory>(
+      client_drift.generate(eps, seconds(2), rng));
+  auto st = std::make_shared<ClockTrajectory>(ClockTrajectory::perfect());
+  auto client = std::make_unique<SyncClient>(0, 1, milliseconds(10), probes,
+                                             d1);
+  SyncClient* cp = client.get();
+  exec.add_owned(std::make_unique<ClockedMachine>(std::move(client), ct));
+  exec.add_owned(std::make_unique<ClockedMachine>(
+      std::make_unique<TimeServer>(1), st));
+  Rng seeder(seed);
+  exec.add_owned(std::make_unique<Channel>(0, 1, d1, d2,
+                                           DelayPolicy::uniform(),
+                                           seeder.split()));
+  exec.add_owned(std::make_unique<Channel>(1, 0, d1, d2,
+                                           DelayPolicy::uniform(),
+                                           seeder.split()));
+  exec.hide("SENDMSG");
+  exec.hide("RECVMSG");
+  exec.run();
+  return {cp->samples(), ct, st, exec.events()};
+}
+
+class SyncSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyncSeeds, EstimateWithinErrorBoundForConstantSkew) {
+  // Constant offset clocks: rates are 1 after the ramp, so the Cristian
+  // bound is exact: |estimate - true_offset| <= rtt/2 - d1.
+  const Duration eps = microseconds(80);
+  OffsetDrift drift(-1.0);
+  const auto run = run_sync(drift, microseconds(50), microseconds(400), eps,
+                            20, GetParam());
+  ASSERT_GE(run.samples.size(), 18u);
+  double mean_estimate = 0;
+  int counted = 0;
+  for (const auto& s : run.samples) {
+    // Probe 0 runs while the offset clock is still ramping (rate != 1);
+    // Cristian's bound assumes rate-1 clocks, so skip it.
+    if (s.probe_id == 0) continue;
+    // Ground truth: server clock - client clock at the completion instant.
+    const Time t = run.client_traj->time_first_at(s.client_clock);
+    const Duration truth =
+        run.server_traj->clock_at(t) - run.client_traj->clock_at(t);
+    EXPECT_LE(std::llabs(s.estimated_offset - truth), s.error_bound + 2)
+        << "probe " << s.probe_id;
+    // rtt <= 2*d2, so the bound is at most d2 - d1.
+    EXPECT_LE(s.error_bound, microseconds(400) - microseconds(50) + 2);
+    mean_estimate += static_cast<double>(s.estimated_offset);
+    ++counted;
+  }
+  // Individual estimates are swamped by delay asymmetry (up to
+  // +-(d2-d1)/2), but their average converges on the true +eps offset.
+  ASSERT_GT(counted, 10);
+  EXPECT_GT(mean_estimate / counted, static_cast<double>(eps) / 4);
+}
+
+TEST_P(SyncSeeds, EstimateTracksDriftingClockWithinBoundPlusDrift) {
+  // Drifting clocks add at most the skew change during the rtt; allow a
+  // small slack over the Cristian bound.
+  const Duration eps = microseconds(80);
+  ZigzagDrift drift(0.3);
+  const auto run = run_sync(drift, microseconds(50), microseconds(400), eps,
+                            20, GetParam());
+  ASSERT_GE(run.samples.size(), 18u);
+  for (const auto& s : run.samples) {
+    const Time t = run.client_traj->time_first_at(s.client_clock);
+    const Duration truth =
+        run.server_traj->clock_at(t) - run.client_traj->clock_at(t);
+    // rtt <= 800us real; zigzag changes skew at rate ~0.3/1.3 per unit.
+    const Duration drift_slack =
+        static_cast<Duration>(0.3 * 2.0 * 800'000.0);
+    EXPECT_LE(std::llabs(s.estimated_offset - truth),
+              s.error_bound + drift_slack)
+        << "probe " << s.probe_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncSeeds, ::testing::Values(1, 2, 3, 7, 13));
+
+TEST(SyncTest, SymmetricFixedDelayGivesNearPerfectEstimates) {
+  // Equal forward/backward delays: the midpoint assumption is exact.
+  Executor exec({.horizon = seconds(2), .seed = 5});
+  const Duration d = microseconds(100);
+  Rng rng(0x77);
+  auto ct = std::make_shared<ClockTrajectory>(
+      OffsetDrift(+1.0).generate(microseconds(60), seconds(2), rng));
+  auto st = std::make_shared<ClockTrajectory>(ClockTrajectory::perfect());
+  auto client = std::make_unique<SyncClient>(0, 1, milliseconds(10), 10, d);
+  SyncClient* cp = client.get();
+  exec.add_owned(std::make_unique<ClockedMachine>(std::move(client), ct));
+  exec.add_owned(std::make_unique<ClockedMachine>(
+      std::make_unique<TimeServer>(1), st));
+  Rng seeder(5);
+  exec.add_owned(std::make_unique<Channel>(0, 1, d, d,
+                                           DelayPolicy::fixed(d),
+                                           seeder.split()));
+  exec.add_owned(std::make_unique<Channel>(1, 0, d, d,
+                                           DelayPolicy::fixed(d),
+                                           seeder.split()));
+  exec.run();
+  ASSERT_GE(cp->samples().size(), 9u);
+  for (const auto& s : cp->samples()) {
+    if (s.probe_id == 0) continue;  // ramp phase, rate != 1
+    const Time t = ct->time_first_at(s.client_clock);
+    const Duration truth = st->clock_at(t) - ct->clock_at(t);
+    // Offset clock runs at rate 1 (post-ramp): estimate is exact up to
+    // grid rounding.
+    EXPECT_LE(std::llabs(s.estimated_offset - truth), 4);
+    EXPECT_LE(s.error_bound, 4);  // rtt/2 - d1 ~ 0
+  }
+}
+
+TEST(SyncTest, ServerAnswersEveryProbe) {
+  PerfectDrift drift;
+  const auto run = run_sync(drift, microseconds(10), microseconds(50),
+                            microseconds(10), 15, 3);
+  EXPECT_EQ(run.samples.size(), 15u);
+  for (const auto& s : run.samples) {
+    EXPECT_LE(std::llabs(s.estimated_offset), s.error_bound + 2);
+  }
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,169 @@
+// Tests for the utility layer: rng, stats, tables, checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace psc {
+namespace {
+
+// --- rng --------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int k = 0; k < 100 && !differs; ++k) {
+    differs = a2.next() != c.next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 10'000; ++k) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 1000; ++k) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDegenerateAndInvalid) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+  EXPECT_THROW(rng.uniform(5, 4), CheckError);
+}
+
+TEST(RngTest, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int k = 0; k < 10'000; ++k) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, FlipRespectsProbability) {
+  Rng rng(11);
+  int heads = 0;
+  for (int k = 0; k < 10'000; ++k) heads += rng.flip(0.25);
+  EXPECT_NEAR(heads / 10'000.0, 0.25, 0.02);
+  EXPECT_EQ(Rng(1).flip(0.0), false);
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(3);
+  for (int k = 0; k < 1000; ++k) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), CheckError);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(5);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  bool differs = false;
+  for (int k = 0; k < 10 && !differs; ++k) differs = c1.next() != c2.next();
+  EXPECT_TRUE(differs);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook example
+}
+
+TEST(RunningStatsTest, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.min(), CheckError);
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_EQ(s.summary(), "n=0");
+}
+
+TEST(SamplesTest, Percentiles) {
+  Samples s;
+  for (int k = 1; k <= 100; ++k) s.add(k);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+}
+
+TEST(SamplesTest, SingleAndInvalid) {
+  Samples s;
+  s.add(7);
+  EXPECT_DOUBLE_EQ(s.percentile(37), 7);
+  EXPECT_THROW(s.percentile(101), CheckError);
+  Samples empty;
+  EXPECT_THROW(empty.percentile(50), CheckError);
+}
+
+TEST(SamplesTest, AddAfterSortStillCorrect) {
+  Samples s;
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.max(), 3);
+  s.add(9);  // invalidates the sorted cache... which must re-sort
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.max(), 9);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row("x", 1);
+  t.row("longer", 22.5);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name   |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CellCountMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+// --- check ------------------------------------------------------------------
+
+TEST(CheckTest, MessageCarriesContext) {
+  try {
+    PSC_CHECK(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace psc

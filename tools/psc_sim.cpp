@@ -1,0 +1,194 @@
+// psc-sim — command-line scenario runner.
+//
+// Runs one of the library's register/queue systems with configurable
+// parameters, verifies the correctness property, prints latency stats, and
+// optionally dumps the full event trace in the trace_io text format.
+//
+//   psc-sim <scenario> [--key=value ...]
+//
+// Scenarios:
+//   rw-timed     algorithm L/S in the timed model
+//   rw-clock     transformed S in the clock model (Theorem 6.5)
+//   rw-sliced    the [10] baseline reconstruction
+//   rw-mmt       the full Theorem 5.2 pipeline
+//   queue        the replicated FIFO queue (total-order broadcast)
+//
+// Keys (defaults in brackets): nodes[3] ops[20] d1_us[20] d2_us[300]
+// eps_us[50] c_us[40] ell_us[10] write_frac[0.5] drift[zigzag] seed[1]
+// super[1] trace[""]   (drift: perfect|offset+|offset-|zigzag|random|
+// opposing|disciplined)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "clock/discipline.hpp"
+#include "core/trace_io.hpp"
+#include "mmt/mmt_system.hpp"
+#include "rw/harness.hpp"
+#include "rw/queue.hpp"
+#include "util/stats.hpp"
+
+using namespace psc;
+
+namespace {
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int k = 2; k < argc; ++k) {
+    std::string s = argv[k];
+    if (s.rfind("--", 0) != 0) {
+      std::cerr << "bad argument: " << s << "\n";
+      std::exit(2);
+    }
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      args[s.substr(2)] = "1";
+    } else {
+      args[s.substr(2, eq - 2)] = s.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+std::int64_t geti(const std::map<std::string, std::string>& a,
+                  const std::string& key, std::int64_t def) {
+  auto it = a.find(key);
+  return it == a.end() ? def : std::stoll(it->second);
+}
+
+double getd(const std::map<std::string, std::string>& a,
+            const std::string& key, double def) {
+  auto it = a.find(key);
+  return it == a.end() ? def : std::stod(it->second);
+}
+
+std::string gets(const std::map<std::string, std::string>& a,
+                 const std::string& key, const std::string& def) {
+  auto it = a.find(key);
+  return it == a.end() ? def : it->second;
+}
+
+std::unique_ptr<DriftModel> make_drift(const std::string& name) {
+  if (name == "perfect") return std::make_unique<PerfectDrift>();
+  if (name == "offset+") return std::make_unique<OffsetDrift>(+1.0);
+  if (name == "offset-") return std::make_unique<OffsetDrift>(-1.0);
+  if (name == "zigzag") return std::make_unique<ZigzagDrift>(0.3);
+  if (name == "random") {
+    return std::make_unique<RandomDrift>(0.1, milliseconds(1));
+  }
+  if (name == "opposing") return std::make_unique<OpposingOffsetDrift>();
+  if (name == "disciplined") {
+    return std::make_unique<DisciplinedDrift>(DisciplineConfig{});
+  }
+  std::cerr << "unknown drift model: " << name << "\n";
+  std::exit(2);
+}
+
+void print_latency(const char* label, const std::vector<Duration>& ls) {
+  if (ls.empty()) {
+    std::cout << "  " << label << ": none\n";
+    return;
+  }
+  Samples s;
+  for (const Duration l : ls) s.add(static_cast<double>(l));
+  std::cout << "  " << label << ": n=" << s.count() << "  min="
+            << format_time(static_cast<Time>(s.min())) << "  p50="
+            << format_time(static_cast<Time>(s.percentile(50))) << "  p99="
+            << format_time(static_cast<Time>(s.percentile(99))) << "  max="
+            << format_time(static_cast<Time>(s.max())) << "\n";
+}
+
+void maybe_dump(const std::string& path, const TimedTrace& events) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  write_trace(os, events);
+  std::cout << "trace (" << events.size() << " events) written to " << path
+            << "\n";
+}
+
+int run_register(const std::string& scenario,
+                 const std::map<std::string, std::string>& args) {
+  RwRunConfig cfg;
+  cfg.num_nodes = static_cast<int>(geti(args, "nodes", 3));
+  cfg.ops_per_node = static_cast<int>(geti(args, "ops", 20));
+  cfg.d1 = microseconds(geti(args, "d1_us", 20));
+  cfg.d2 = microseconds(geti(args, "d2_us", 300));
+  cfg.eps = microseconds(geti(args, "eps_us", 50));
+  cfg.c = microseconds(geti(args, "c_us", 40));
+  cfg.write_fraction = getd(args, "write_frac", 0.5);
+  cfg.super = geti(args, "super", 1) != 0;
+  cfg.seed = static_cast<std::uint64_t>(geti(args, "seed", 1));
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(60);
+  const auto drift = make_drift(gets(args, "drift", "zigzag"));
+
+  RwRunResult run;
+  if (scenario == "rw-timed") {
+    run = run_rw_timed(cfg);
+  } else if (scenario == "rw-clock") {
+    run = run_rw_clock(cfg, *drift);
+  } else if (scenario == "rw-sliced") {
+    run = run_rw_sliced(cfg, *drift);
+  } else {  // rw-mmt
+    const Duration ell = microseconds(geti(args, "ell_us", 10));
+    run = run_rw_mmt(cfg, *drift, ell, cfg.num_nodes + 2);
+  }
+
+  std::cout << scenario << ": " << run.ops.size() << " operations, "
+            << run.events.size() << " events\n";
+  print_latency("reads ", latencies(run.ops, Operation::Kind::kRead));
+  print_latency("writes", latencies(run.ops, Operation::Kind::kWrite));
+  const auto lin = check_linearizable(run.ops, cfg.v0);
+  std::cout << "linearizability: " << (lin.ok ? "VERIFIED" : "VIOLATED")
+            << " (" << lin.states << " states)\n";
+  maybe_dump(gets(args, "trace", ""), run.events);
+  return lin.ok ? 0 : 1;
+}
+
+int run_queue(const std::map<std::string, std::string>& args) {
+  QueueRunConfig cfg;
+  cfg.num_nodes = static_cast<int>(geti(args, "nodes", 3));
+  cfg.ops_per_node = static_cast<int>(geti(args, "ops", 15));
+  cfg.d1 = microseconds(geti(args, "d1_us", 20));
+  cfg.d2 = microseconds(geti(args, "d2_us", 300));
+  cfg.eps = microseconds(geti(args, "eps_us", 50));
+  cfg.enq_fraction = getd(args, "write_frac", 0.5);
+  cfg.seed = static_cast<std::uint64_t>(geti(args, "seed", 1));
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(60);
+  const auto drift = make_drift(gets(args, "drift", "zigzag"));
+  const auto run = run_queue_clock(cfg, *drift);
+  std::cout << "queue: " << run.ops.size() << " operations, "
+            << run.events.size() << " events\n";
+  const auto lin = check_linearizable_queue(run.ops);
+  std::cout << "queue linearizability: "
+            << (lin.ok ? "VERIFIED" : "VIOLATED") << " (" << lin.states
+            << " states)\n";
+  maybe_dump(gets(args, "trace", ""), run.events);
+  return lin.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: psc-sim <rw-timed|rw-clock|rw-sliced|rw-mmt|queue> "
+                 "[--key=value ...]\n";
+    return 2;
+  }
+  const std::string scenario = argv[1];
+  const auto args = parse_args(argc, argv);
+  if (scenario == "queue") return run_queue(args);
+  if (scenario == "rw-timed" || scenario == "rw-clock" ||
+      scenario == "rw-sliced" || scenario == "rw-mmt") {
+    return run_register(scenario, args);
+  }
+  std::cerr << "unknown scenario: " << scenario << "\n";
+  return 2;
+}
