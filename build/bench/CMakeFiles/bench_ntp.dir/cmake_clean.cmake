@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntp.dir/bench_ntp.cpp.o"
+  "CMakeFiles/bench_ntp.dir/bench_ntp.cpp.o.d"
+  "bench_ntp"
+  "bench_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rw_clock.dir/bench_rw_clock.cpp.o"
+  "CMakeFiles/bench_rw_clock.dir/bench_rw_clock.cpp.o.d"
+  "bench_rw_clock"
+  "bench_rw_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

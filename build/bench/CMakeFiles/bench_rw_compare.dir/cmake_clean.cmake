@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rw_compare.dir/bench_rw_compare.cpp.o"
+  "CMakeFiles/bench_rw_compare.dir/bench_rw_compare.cpp.o.d"
+  "bench_rw_compare"
+  "bench_rw_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rw_timed.dir/bench_rw_timed.cpp.o"
+  "CMakeFiles/bench_rw_timed.dir/bench_rw_timed.cpp.o.d"
+  "bench_rw_timed"
+  "bench_rw_timed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

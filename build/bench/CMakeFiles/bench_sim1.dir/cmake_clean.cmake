@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim1.dir/bench_sim1.cpp.o"
+  "CMakeFiles/bench_sim1.dir/bench_sim1.cpp.o.d"
+  "bench_sim1"
+  "bench_sim1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim2.dir/bench_sim2.cpp.o"
+  "CMakeFiles/bench_sim2.dir/bench_sim2.cpp.o.d"
+  "bench_sim2"
+  "bench_sim2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

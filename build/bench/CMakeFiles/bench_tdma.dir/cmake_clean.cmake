@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tdma.dir/bench_tdma.cpp.o"
+  "CMakeFiles/bench_tdma.dir/bench_tdma.cpp.o.d"
+  "bench_tdma"
+  "bench_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

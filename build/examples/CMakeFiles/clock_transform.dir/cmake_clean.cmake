@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_transform.dir/clock_transform.cpp.o"
+  "CMakeFiles/clock_transform.dir/clock_transform.cpp.o.d"
+  "clock_transform"
+  "clock_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_explorer.dir/drift_explorer.cpp.o"
+  "CMakeFiles/drift_explorer.dir/drift_explorer.cpp.o.d"
+  "drift_explorer"
+  "drift_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearizable_register.dir/linearizable_register.cpp.o"
+  "CMakeFiles/linearizable_register.dir/linearizable_register.cpp.o.d"
+  "linearizable_register"
+  "linearizable_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearizable_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for linearizable_register.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_pipeline.dir/mmt_pipeline.cpp.o"
+  "CMakeFiles/mmt_pipeline.dir/mmt_pipeline.cpp.o.d"
+  "mmt_pipeline"
+  "mmt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_leases.dir/tdma_leases.cpp.o"
+  "CMakeFiles/tdma_leases.dir/tdma_leases.cpp.o.d"
+  "tdma_leases"
+  "tdma_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

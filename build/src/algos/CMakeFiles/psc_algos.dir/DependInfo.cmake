@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/election.cpp" "src/algos/CMakeFiles/psc_algos.dir/election.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/election.cpp.o.d"
+  "/root/repo/src/algos/flood.cpp" "src/algos/CMakeFiles/psc_algos.dir/flood.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/flood.cpp.o.d"
+  "/root/repo/src/algos/heartbeat.cpp" "src/algos/CMakeFiles/psc_algos.dir/heartbeat.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/algos/tdma.cpp" "src/algos/CMakeFiles/psc_algos.dir/tdma.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/tdma.cpp.o.d"
+  "/root/repo/src/algos/timesync.cpp" "src/algos/CMakeFiles/psc_algos.dir/timesync.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/timesync.cpp.o.d"
+  "/root/repo/src/algos/tobcast.cpp" "src/algos/CMakeFiles/psc_algos.dir/tobcast.cpp.o" "gcc" "src/algos/CMakeFiles/psc_algos.dir/tobcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/psc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/psc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/psc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/psc_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

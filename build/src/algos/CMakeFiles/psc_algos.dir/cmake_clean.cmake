@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_algos.dir/election.cpp.o"
+  "CMakeFiles/psc_algos.dir/election.cpp.o.d"
+  "CMakeFiles/psc_algos.dir/flood.cpp.o"
+  "CMakeFiles/psc_algos.dir/flood.cpp.o.d"
+  "CMakeFiles/psc_algos.dir/heartbeat.cpp.o"
+  "CMakeFiles/psc_algos.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/psc_algos.dir/tdma.cpp.o"
+  "CMakeFiles/psc_algos.dir/tdma.cpp.o.d"
+  "CMakeFiles/psc_algos.dir/timesync.cpp.o"
+  "CMakeFiles/psc_algos.dir/timesync.cpp.o.d"
+  "CMakeFiles/psc_algos.dir/tobcast.cpp.o"
+  "CMakeFiles/psc_algos.dir/tobcast.cpp.o.d"
+  "libpsc_algos.a"
+  "libpsc_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

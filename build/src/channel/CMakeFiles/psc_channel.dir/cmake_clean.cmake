@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_channel.dir/channel.cpp.o"
+  "CMakeFiles/psc_channel.dir/channel.cpp.o.d"
+  "libpsc_channel.a"
+  "libpsc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

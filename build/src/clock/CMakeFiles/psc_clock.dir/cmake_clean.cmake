@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_clock.dir/discipline.cpp.o"
+  "CMakeFiles/psc_clock.dir/discipline.cpp.o.d"
+  "CMakeFiles/psc_clock.dir/trajectory.cpp.o"
+  "CMakeFiles/psc_clock.dir/trajectory.cpp.o.d"
+  "libpsc_clock.a"
+  "libpsc_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

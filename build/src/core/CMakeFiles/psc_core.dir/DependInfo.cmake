@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cpp" "src/core/CMakeFiles/psc_core.dir/action.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/action.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/core/CMakeFiles/psc_core.dir/machine.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/machine.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "src/core/CMakeFiles/psc_core.dir/message.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/message.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/psc_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/relations.cpp" "src/core/CMakeFiles/psc_core.dir/relations.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/relations.cpp.o.d"
+  "/root/repo/src/core/time.cpp" "src/core/CMakeFiles/psc_core.dir/time.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/time.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/psc_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/psc_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/psc_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/psc_core.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_core.dir/action.cpp.o"
+  "CMakeFiles/psc_core.dir/action.cpp.o.d"
+  "CMakeFiles/psc_core.dir/machine.cpp.o"
+  "CMakeFiles/psc_core.dir/machine.cpp.o.d"
+  "CMakeFiles/psc_core.dir/message.cpp.o"
+  "CMakeFiles/psc_core.dir/message.cpp.o.d"
+  "CMakeFiles/psc_core.dir/problem.cpp.o"
+  "CMakeFiles/psc_core.dir/problem.cpp.o.d"
+  "CMakeFiles/psc_core.dir/relations.cpp.o"
+  "CMakeFiles/psc_core.dir/relations.cpp.o.d"
+  "CMakeFiles/psc_core.dir/time.cpp.o"
+  "CMakeFiles/psc_core.dir/time.cpp.o.d"
+  "CMakeFiles/psc_core.dir/trace.cpp.o"
+  "CMakeFiles/psc_core.dir/trace.cpp.o.d"
+  "CMakeFiles/psc_core.dir/trace_io.cpp.o"
+  "CMakeFiles/psc_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/psc_core.dir/value.cpp.o"
+  "CMakeFiles/psc_core.dir/value.cpp.o.d"
+  "libpsc_core.a"
+  "libpsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_mmt.dir/mmt_node.cpp.o"
+  "CMakeFiles/psc_mmt.dir/mmt_node.cpp.o.d"
+  "CMakeFiles/psc_mmt.dir/mmt_system.cpp.o"
+  "CMakeFiles/psc_mmt.dir/mmt_system.cpp.o.d"
+  "CMakeFiles/psc_mmt.dir/tick_source.cpp.o"
+  "CMakeFiles/psc_mmt.dir/tick_source.cpp.o.d"
+  "libpsc_mmt.a"
+  "libpsc_mmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_mmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/clocked.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/clocked.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/clocked.cpp.o.d"
+  "/root/repo/src/runtime/composite.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/composite.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/composite.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/fuzzer.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/fuzzer.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/fuzzer.cpp.o.d"
+  "/root/repo/src/runtime/renamed.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/renamed.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/renamed.cpp.o.d"
+  "/root/repo/src/runtime/script.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/script.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/script.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/runtime/CMakeFiles/psc_runtime.dir/system.cpp.o" "gcc" "src/runtime/CMakeFiles/psc_runtime.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/psc_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/psc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_runtime.dir/clocked.cpp.o"
+  "CMakeFiles/psc_runtime.dir/clocked.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/composite.cpp.o"
+  "CMakeFiles/psc_runtime.dir/composite.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/executor.cpp.o"
+  "CMakeFiles/psc_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/fuzzer.cpp.o"
+  "CMakeFiles/psc_runtime.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/renamed.cpp.o"
+  "CMakeFiles/psc_runtime.dir/renamed.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/script.cpp.o"
+  "CMakeFiles/psc_runtime.dir/script.cpp.o.d"
+  "CMakeFiles/psc_runtime.dir/system.cpp.o"
+  "CMakeFiles/psc_runtime.dir/system.cpp.o.d"
+  "libpsc_runtime.a"
+  "libpsc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

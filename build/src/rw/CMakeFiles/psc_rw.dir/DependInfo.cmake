@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rw/algorithm.cpp" "src/rw/CMakeFiles/psc_rw.dir/algorithm.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/algorithm.cpp.o.d"
+  "/root/repo/src/rw/client.cpp" "src/rw/CMakeFiles/psc_rw.dir/client.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/client.cpp.o.d"
+  "/root/repo/src/rw/harness.cpp" "src/rw/CMakeFiles/psc_rw.dir/harness.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/harness.cpp.o.d"
+  "/root/repo/src/rw/multi.cpp" "src/rw/CMakeFiles/psc_rw.dir/multi.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/multi.cpp.o.d"
+  "/root/repo/src/rw/problem.cpp" "src/rw/CMakeFiles/psc_rw.dir/problem.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/problem.cpp.o.d"
+  "/root/repo/src/rw/queue.cpp" "src/rw/CMakeFiles/psc_rw.dir/queue.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/queue.cpp.o.d"
+  "/root/repo/src/rw/sliced.cpp" "src/rw/CMakeFiles/psc_rw.dir/sliced.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/sliced.cpp.o.d"
+  "/root/repo/src/rw/spec.cpp" "src/rw/CMakeFiles/psc_rw.dir/spec.cpp.o" "gcc" "src/rw/CMakeFiles/psc_rw.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/psc_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmt/CMakeFiles/psc_mmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/psc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/psc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/psc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/psc_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

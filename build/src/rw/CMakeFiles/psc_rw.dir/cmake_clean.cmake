@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_rw.dir/algorithm.cpp.o"
+  "CMakeFiles/psc_rw.dir/algorithm.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/client.cpp.o"
+  "CMakeFiles/psc_rw.dir/client.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/harness.cpp.o"
+  "CMakeFiles/psc_rw.dir/harness.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/multi.cpp.o"
+  "CMakeFiles/psc_rw.dir/multi.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/problem.cpp.o"
+  "CMakeFiles/psc_rw.dir/problem.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/queue.cpp.o"
+  "CMakeFiles/psc_rw.dir/queue.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/sliced.cpp.o"
+  "CMakeFiles/psc_rw.dir/sliced.cpp.o.d"
+  "CMakeFiles/psc_rw.dir/spec.cpp.o"
+  "CMakeFiles/psc_rw.dir/spec.cpp.o.d"
+  "libpsc_rw.a"
+  "libpsc_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

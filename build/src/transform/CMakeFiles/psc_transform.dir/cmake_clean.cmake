@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_transform.dir/buffers.cpp.o"
+  "CMakeFiles/psc_transform.dir/buffers.cpp.o.d"
+  "CMakeFiles/psc_transform.dir/clock_system.cpp.o"
+  "CMakeFiles/psc_transform.dir/clock_system.cpp.o.d"
+  "CMakeFiles/psc_transform.dir/gamma.cpp.o"
+  "CMakeFiles/psc_transform.dir/gamma.cpp.o.d"
+  "libpsc_transform.a"
+  "libpsc_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_util.dir/check.cpp.o"
+  "CMakeFiles/psc_util.dir/check.cpp.o.d"
+  "CMakeFiles/psc_util.dir/rng.cpp.o"
+  "CMakeFiles/psc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/psc_util.dir/stats.cpp.o"
+  "CMakeFiles/psc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/psc_util.dir/table.cpp.o"
+  "CMakeFiles/psc_util.dir/table.cpp.o.d"
+  "libpsc_util.a"
+  "libpsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_cross_test.dir/checker_cross_test.cpp.o"
+  "CMakeFiles/checker_cross_test.dir/checker_cross_test.cpp.o.d"
+  "checker_cross_test"
+  "checker_cross_test.pdb"
+  "checker_cross_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_cross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disciplined_rw_test.dir/disciplined_rw_test.cpp.o"
+  "CMakeFiles/disciplined_rw_test.dir/disciplined_rw_test.cpp.o.d"
+  "disciplined_rw_test"
+  "disciplined_rw_test.pdb"
+  "disciplined_rw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disciplined_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

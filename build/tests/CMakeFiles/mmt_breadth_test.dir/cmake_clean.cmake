@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_breadth_test.dir/mmt_breadth_test.cpp.o"
+  "CMakeFiles/mmt_breadth_test.dir/mmt_breadth_test.cpp.o.d"
+  "mmt_breadth_test"
+  "mmt_breadth_test.pdb"
+  "mmt_breadth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_breadth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_test.dir/mmt_test.cpp.o"
+  "CMakeFiles/mmt_test.dir/mmt_test.cpp.o.d"
+  "mmt_test"
+  "mmt_test.pdb"
+  "mmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_rw_test.dir/problem_rw_test.cpp.o"
+  "CMakeFiles/problem_rw_test.dir/problem_rw_test.cpp.o.d"
+  "problem_rw_test"
+  "problem_rw_test.pdb"
+  "problem_rw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relations_property_test.dir/relations_property_test.cpp.o"
+  "CMakeFiles/relations_property_test.dir/relations_property_test.cpp.o.d"
+  "relations_property_test"
+  "relations_property_test.pdb"
+  "relations_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relations_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

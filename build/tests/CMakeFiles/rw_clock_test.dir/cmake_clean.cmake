@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_clock_test.dir/rw_clock_test.cpp.o"
+  "CMakeFiles/rw_clock_test.dir/rw_clock_test.cpp.o.d"
+  "rw_clock_test"
+  "rw_clock_test.pdb"
+  "rw_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_semantics_test.dir/rw_semantics_test.cpp.o"
+  "CMakeFiles/rw_semantics_test.dir/rw_semantics_test.cpp.o.d"
+  "rw_semantics_test"
+  "rw_semantics_test.pdb"
+  "rw_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

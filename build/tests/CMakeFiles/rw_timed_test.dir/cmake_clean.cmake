@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_timed_test.dir/rw_timed_test.cpp.o"
+  "CMakeFiles/rw_timed_test.dir/rw_timed_test.cpp.o.d"
+  "rw_timed_test"
+  "rw_timed_test.pdb"
+  "rw_timed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_timed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim1_test.dir/sim1_test.cpp.o"
+  "CMakeFiles/sim1_test.dir/sim1_test.cpp.o.d"
+  "sim1_test"
+  "sim1_test.pdb"
+  "sim1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem47_test.dir/theorem47_test.cpp.o"
+  "CMakeFiles/theorem47_test.dir/theorem47_test.cpp.o.d"
+  "theorem47_test"
+  "theorem47_test.pdb"
+  "theorem47_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem47_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

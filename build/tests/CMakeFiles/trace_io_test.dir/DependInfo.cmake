@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_io_test.cpp" "tests/CMakeFiles/trace_io_test.dir/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/trace_io_test.dir/trace_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rw/CMakeFiles/psc_rw.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/psc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/psc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/psc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/psc_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/psc_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmt/CMakeFiles/psc_mmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

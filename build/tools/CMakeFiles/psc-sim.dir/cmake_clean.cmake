@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc-sim.dir/psc_sim.cpp.o"
+  "CMakeFiles/psc-sim.dir/psc_sim.cpp.o.d"
+  "psc-sim"
+  "psc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
