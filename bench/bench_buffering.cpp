@@ -43,6 +43,7 @@ int main() {
       ReceiveBufferStats total;
       for (std::uint64_t seed = 1; seed <= 6; ++seed) {
         cfg.seed = seed;
+        cfg.obs = bench::obs_options();
         const auto run = run_rw_clock(cfg, drift);
         total.received += run.buffer_totals.received;
         total.buffered += run.buffer_totals.buffered;

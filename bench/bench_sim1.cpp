@@ -46,6 +46,7 @@ int main() {
       bool delays_ok = true, equiv = true;
       for (std::uint64_t seed = 1; seed <= 4; ++seed) {
         cfg.seed = seed;
+        cfg.obs = bench::obs_options();
         const auto run = run_rw_clock(cfg, *model);
         const auto chk = check_simulation1(run.events, run.trajectories,
                                            cfg.d1, cfg.d2, cfg.eps);

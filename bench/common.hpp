@@ -6,14 +6,24 @@
 // claims (who wins, monotonicity, crossovers) and reports PASS/FAIL. The
 // binaries run standalone and exit nonzero on a shape violation so the
 // bench sweep doubles as a regression gate.
+// Observability (docs/OBSERVABILITY.md): every bench can emit the same
+// artifacts as psc-sim without per-binary flag plumbing. Set
+//   PSC_METRICS_OUT=metrics.jsonl   to aggregate the run's probes into a
+//                                   shared registry and dump it at finish();
+//   PSC_CHROME_TRACE=trace.json     to capture the *first* instrumented run
+//                                   as a Chrome/Perfetto trace (one run per
+//                                   document — later runs get metrics only).
+// Benches opt in per run by passing obs_options() into the harness config.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/instrument.hpp"
 #include "util/table.hpp"
 
 namespace psc::bench {
@@ -34,7 +44,59 @@ inline void shape(bool ok, const std::string& claim) {
 // Nanoseconds -> microseconds for compact tables.
 inline double us(double ns) { return ns / 1000.0; }
 
+// Shared registry all instrumented runs of this bench aggregate into.
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+namespace detail {
+
+inline std::ofstream& chrome_stream() {
+  static std::ofstream os;
+  return os;
+}
+
+}  // namespace detail
+
+// Observability options for one harness run, driven by the environment
+// (PSC_METRICS_OUT / PSC_CHROME_TRACE). Returns nullptr when neither is
+// set, so `cfg.obs = bench::obs_options()` is always safe. The chrome
+// stream is claimed by the first caller only — a trace document describes a
+// single run.
+inline const ObsOptions* obs_options() {
+  static bool chrome_claimed = false;
+  static ObsOptions with_chrome, metrics_only;
+  const char* metrics_path = std::getenv("PSC_METRICS_OUT");
+  const char* chrome_path = std::getenv("PSC_CHROME_TRACE");
+  if (metrics_path == nullptr && chrome_path == nullptr) return nullptr;
+  if (metrics_path != nullptr) {
+    with_chrome.registry = &metrics();
+    metrics_only.registry = &metrics();
+  }
+  if (chrome_path != nullptr && !chrome_claimed) {
+    chrome_claimed = true;
+    detail::chrome_stream().open(chrome_path);
+    if (detail::chrome_stream()) {
+      with_chrome.chrome_out = &detail::chrome_stream();
+      return &with_chrome;
+    }
+    std::cerr << "cannot open " << chrome_path << "\n";
+  }
+  return metrics_only.registry != nullptr ? &metrics_only : nullptr;
+}
+
 inline int finish() {
+  if (const char* path = std::getenv("PSC_METRICS_OUT")) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    metrics().write_jsonl(os);
+    std::cout << "\nmetrics (" << metrics().size() << " series) written to "
+              << path << "\n";
+  }
   if (g_failures > 0) {
     std::cout << "\n" << g_failures << " shape check(s) FAILED\n";
     return 1;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a RelWithDebInfo build with ASan+UBSan, build
+# everything, and run the full test suite under the sanitizers.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+
+cmake --build "$BUILD_DIR" -j
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -50,6 +50,7 @@ class MmtNode final : public Machine {
           double min_gap_frac = 0.25);
 
   const MmtNodeStats& stats() const { return stats_; }
+  int node() const { return node_; }
   Machine& inner() { return *inner_; }
   Time simclock() const { return simclock_; }
   Time mmtclock() const { return mmtclock_; }

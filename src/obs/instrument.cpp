@@ -1,0 +1,82 @@
+#include "obs/instrument.hpp"
+
+#include "runtime/executor.hpp"
+
+namespace psc {
+
+RunObserver::RunObserver(const ObsOptions* opts) {
+  if (opts != nullptr) opts_ = *opts;
+  if (opts_.chrome_out != nullptr) {
+    if (opts_.events_in_trace) {
+      chrome_probe_ = std::make_unique<ChromeTraceProbe>(*opts_.chrome_out);
+    } else {
+      bare_writer_ = std::make_unique<ChromeTraceWriter>(*opts_.chrome_out);
+    }
+  }
+}
+
+RunObserver::~RunObserver() = default;
+
+MetricsRegistry* RunObserver::sink() {
+  if (opts_.registry != nullptr) return opts_.registry;
+  if (opts_.chrome_out == nullptr) return nullptr;
+  if (!scratch_) scratch_ = std::make_unique<MetricsRegistry>();
+  return scratch_.get();
+}
+
+ChromeTraceWriter* RunObserver::chrome() {
+  if (chrome_probe_) return &chrome_probe_->writer();
+  return bare_writer_.get();
+}
+
+ClockSkewProbe* RunObserver::add_clock_skew(
+    std::vector<std::shared_ptr<const ClockTrajectory>> trajs, Duration eps) {
+  MetricsRegistry* reg = sink();
+  if (reg == nullptr) return nullptr;
+  auto p = std::make_unique<ClockSkewProbe>(*reg, std::move(trajs), eps,
+                                            chrome());
+  ClockSkewProbe* out = p.get();
+  probes_.push_back(std::move(p));
+  return out;
+}
+
+ChannelLatencyProbe* RunObserver::add_channel_latency(Duration d1,
+                                                      Duration d2) {
+  MetricsRegistry* reg = sink();
+  if (reg == nullptr) return nullptr;
+  auto p = std::make_unique<ChannelLatencyProbe>(*reg, d1, d2);
+  ChannelLatencyProbe* out = p.get();
+  probes_.push_back(std::move(p));
+  return out;
+}
+
+Sim1BufferProbe* RunObserver::add_buffers() {
+  MetricsRegistry* reg = sink();
+  if (reg == nullptr) return nullptr;
+  auto p = std::make_unique<Sim1BufferProbe>(*reg, chrome());
+  Sim1BufferProbe* out = p.get();
+  probes_.push_back(std::move(p));
+  return out;
+}
+
+MmtProbe* RunObserver::add_mmt() {
+  MetricsRegistry* reg = sink();
+  if (reg == nullptr) return nullptr;
+  auto p = std::make_unique<MmtProbe>(*reg);
+  MmtProbe* out = p.get();
+  probes_.push_back(std::move(p));
+  return out;
+}
+
+Probe* RunObserver::add(std::unique_ptr<Probe> probe) {
+  Probe* out = probe.get();
+  probes_.push_back(std::move(probe));
+  return out;
+}
+
+void RunObserver::attach(Executor& exec) {
+  if (chrome_probe_) exec.attach_probe(chrome_probe_.get());
+  for (const auto& p : probes_) exec.attach_probe(p.get());
+}
+
+}  // namespace psc

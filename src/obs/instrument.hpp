@@ -1,0 +1,86 @@
+// One-stop per-run instrumentation assembly.
+//
+// ObsOptions is what callers configure (usually from command-line flags or
+// environment variables): a MetricsRegistry to aggregate into and/or a
+// stream to receive a Chrome trace. RunObserver turns the options into a
+// concrete set of probes for one Executor run, owns them, and wires shared
+// state (all metric probes write into the same registry; probes that can
+// render counter tracks share the chrome writer).
+//
+// Usage (what rw/harness.cpp does):
+//   RunObserver obs(cfg.obs);             // null options -> inert observer
+//   obs.add_clock_skew(trajs, eps);
+//   obs.add_channel_latency(d1, d2);
+//   auto* bp = obs.add_buffers();         // then bp->watch(...) each buffer
+//   obs.attach(exec);
+//   exec.run();                           // chrome doc finalized at run end
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "clock/trajectory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probes.hpp"
+#include "obs/trace_export.hpp"
+
+namespace psc {
+
+class Executor;
+
+struct ObsOptions {
+  // Sink for the built-in metric probes; nullptr disables them.
+  MetricsRegistry* registry = nullptr;
+  // Destination for a Chrome trace_event document; nullptr disables it.
+  // The stream must outlive the run.
+  std::ostream* chrome_out = nullptr;
+  // When false, the chrome trace carries only counter tracks (no per-event
+  // instants) — useful for long runs where the event stream would dominate.
+  bool events_in_trace = true;
+
+  bool enabled() const { return registry != nullptr || chrome_out != nullptr; }
+};
+
+class RunObserver {
+ public:
+  // `opts` may be null or empty: every add_* becomes a no-op returning
+  // nullptr and attach() attaches nothing — callers need no branching.
+  explicit RunObserver(const ObsOptions* opts);
+  ~RunObserver();
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  bool active() const { return opts_.enabled(); }
+  MetricsRegistry* registry() { return opts_.registry; }
+  // The shared chrome writer (null when no chrome_out was configured).
+  ChromeTraceWriter* chrome();
+
+  ClockSkewProbe* add_clock_skew(
+      std::vector<std::shared_ptr<const ClockTrajectory>> trajs,
+      Duration eps);
+  ChannelLatencyProbe* add_channel_latency(Duration d1, Duration d2);
+  Sim1BufferProbe* add_buffers();
+  MmtProbe* add_mmt();
+  // Any custom probe (takes ownership).
+  Probe* add(std::unique_ptr<Probe> probe);
+
+  // Attaches every constructed probe to the executor, event-trace probe
+  // first so metric probes may stream counters into an open document.
+  void attach(Executor& exec);
+
+ private:
+  // The registry metric probes write into: the configured one, or a private
+  // scratch registry for chrome-only runs (counter tracks still need
+  // somewhere to keep their gauges).
+  MetricsRegistry* sink();
+
+  ObsOptions opts_;
+  std::unique_ptr<ChromeTraceProbe> chrome_probe_;   // when events_in_trace
+  std::unique_ptr<ChromeTraceWriter> bare_writer_;   // counters-only trace
+  std::unique_ptr<MetricsRegistry> scratch_;
+  std::vector<std::unique_ptr<Probe>> probes_;
+};
+
+}  // namespace psc

@@ -1,0 +1,139 @@
+// MetricsRegistry: counters, gauges, and fixed-bucket histograms keyed by
+// interned names.
+//
+// The registry is the sink the built-in probes (probes.hpp) write into and
+// the JSONL exporter reads out of. Design constraints, in order:
+//   * hot-path writes are field updates on a handle obtained once at setup
+//     (no name lookup per sample);
+//   * handles are stable — registering more metrics never invalidates an
+//     existing Counter/Gauge/Histogram reference;
+//   * a name maps to exactly one metric of one kind (re-requesting returns
+//     the same object, so several runs can aggregate into one registry;
+//     requesting an existing name as a different kind is a CheckError).
+//
+// Histograms use fixed bucket bounds chosen at registration (linear or
+// exponential helpers provided): per-sample cost is a branchless-ish
+// upper_bound over a small vector, memory is O(buckets) regardless of
+// sample count, and percentile estimates are bucket-interpolated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psc {
+
+using MetricId = std::uint32_t;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// Last/min/max/mean over set() calls — a sampled instantaneous quantity.
+class Gauge {
+ public:
+  void set(double v);
+  std::size_t samples() const { return n_; }
+  double last() const { return last_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double last_ = 0, min_ = 0, max_ = 0, sum_ = 0;
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing bucket upper bounds; an implicit
+  // overflow bucket (+inf) is appended, so buckets().size() ==
+  // bounds.size() + 1. Sample x lands in the first bucket with x <= bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  // n+1 bounds evenly spaced over [lo, hi].
+  static std::vector<double> linear_bounds(double lo, double hi,
+                                           std::size_t n);
+  // lo, lo*factor, lo*factor^2, ... (n bounds, factor > 1).
+  static std::vector<double> exponential_bounds(double lo, double factor,
+                                                std::size_t n);
+
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  // p in [0, 100]; linear interpolation inside the selected bucket,
+  // clamped to the observed [min, max]. An estimate, exact at bucket edges.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` are used only on first registration of `name`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // Interning: every registered name has a dense id (registration order).
+  MetricId intern(std::string_view name);
+  const std::string& name(MetricId id) const;
+  std::size_t size() const { return slots_.size(); }
+
+  // Read-only lookups (nullptr when absent or of another kind).
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  // One self-contained JSON object per line, e.g.
+  //   {"type":"counter","name":"channel.sent","value":42}
+  // Histograms carry bounds/buckets plus summary stats, so a dump is
+  // enough to rebuild the distribution.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  const Slot* find(std::string_view name, Kind kind) const;
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // index = MetricId
+  std::unordered_map<std::string, MetricId> index_;
+};
+
+// JSON string escaping shared by the exporters.
+std::string json_escape(std::string_view s);
+
+}  // namespace psc

@@ -1,0 +1,117 @@
+#include "obs/trace_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/action.hpp"
+#include "core/machine.hpp"
+#include "obs/metrics.hpp"
+
+namespace psc {
+
+namespace {
+
+// ns -> the format's microsecond timestamps, without precision games.
+void put_ts(std::ostream& os, Time t) {
+  const Time us = t / 1000;
+  const Time frac = t % 1000;
+  os << us << "." << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { close(); }
+
+void ChromeTraceWriter::close() {
+  if (closed_) return;
+  os_ << "\n]}\n";
+  os_.flush();
+  closed_ = true;
+}
+
+void ChromeTraceWriter::begin_record() {
+  os_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+}
+
+void ChromeTraceWriter::thread_name(int pid, int tid, std::string_view name) {
+  begin_record();
+  os_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+      << json_escape(name) << "\"}}";
+}
+
+void ChromeTraceWriter::instant(std::string_view name, Time t, int tid,
+                                std::string_view args_json) {
+  begin_record();
+  os_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid
+      << ",\"name\":\"" << json_escape(name) << "\",\"ts\":";
+  put_ts(os_, t);
+  if (!args_json.empty()) os_ << ",\"args\":" << args_json;
+  os_ << "}";
+}
+
+void ChromeTraceWriter::complete(std::string_view name, Time start,
+                                 Duration dur, int tid,
+                                 std::string_view args_json) {
+  begin_record();
+  os_ << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"name\":\""
+      << json_escape(name) << "\",\"ts\":";
+  put_ts(os_, start);
+  os_ << ",\"dur\":";
+  put_ts(os_, dur);
+  if (!args_json.empty()) os_ << ",\"args\":" << args_json;
+  os_ << "}";
+}
+
+void ChromeTraceWriter::counter(std::string_view name, std::string_view series,
+                                Time t, double v) {
+  begin_record();
+  os_ << "{\"ph\":\"C\",\"pid\":0,\"name\":\"" << json_escape(name)
+      << "\",\"ts\":";
+  put_ts(os_, t);
+  os_ << ",\"args\":{\"" << json_escape(series) << "\":" << v << "}}";
+}
+
+std::string chrome_event_args(const TimedEvent& e) {
+  std::ostringstream os;
+  os << "{\"visible\":" << (e.visible ? "true" : "false");
+  if (e.clock != kNoClockTag) {
+    os << ",\"clock_ns\":" << e.clock << ",\"skew_ns\":" << (e.clock - e.time);
+  }
+  if (e.action.node != kNoNode) os << ",\"node\":" << e.action.node;
+  if (e.action.peer != kNoNode) os << ",\"peer\":" << e.action.peer;
+  os << "}";
+  return os.str();
+}
+
+ChromeTraceProbe::ChromeTraceProbe(std::ostream& os) : writer_(os) {}
+
+void ChromeTraceProbe::on_event(const TimedEvent& e, const Machine& owner) {
+  if (named_tracks_.insert(e.owner).second) {
+    writer_.thread_name(0, e.owner, owner.name());
+  }
+  writer_.instant(e.action.name, e.time, e.owner, chrome_event_args(e));
+}
+
+void ChromeTraceProbe::on_run_end(Time /*now*/) { writer_.close(); }
+
+void write_chrome_trace(std::ostream& os, const TimedTrace& events,
+                        const std::vector<std::string>& machine_names) {
+  ChromeTraceWriter w(os);
+  for (std::size_t i = 0; i < machine_names.size(); ++i) {
+    w.thread_name(0, static_cast<int>(i), machine_names[i]);
+  }
+  for (const TimedEvent& e : events) {
+    w.instant(e.action.name, e.time, e.owner, chrome_event_args(e));
+  }
+  w.close();
+}
+
+}  // namespace psc

@@ -1,0 +1,94 @@
+// Exporters: Chrome trace_event JSON and post-hoc trace dumps.
+//
+// ChromeTraceWriter emits the JSON-object form of the Chrome tracing format
+// ({"traceEvents":[...]}), which loads directly in chrome://tracing and
+// Perfetto (ui.perfetto.dev). Mapping:
+//   * each executed action  -> an instant event ("ph":"i") on the track
+//     (pid 0, tid = machine index) of the machine that controlled it;
+//   * machine names         -> thread_name metadata ("ph":"M");
+//   * sampled quantities    -> counter events ("ph":"C") — clock skew per
+//     node, receive-buffer occupancy, etc., rendered as stacked line tracks.
+// Timestamps are microseconds (the format's unit); our integer nanoseconds
+// map to fractional "ts" values losslessly for runs under ~2^52 ns.
+//
+// The writer is streaming: events are written as produced, nothing is
+// buffered, and close() (or destruction) finalizes the document.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace psc {
+
+class ChromeTraceWriter {
+ public:
+  // The stream must outlive the writer. Writes the document prefix now.
+  explicit ChromeTraceWriter(std::ostream& os);
+  ~ChromeTraceWriter();  // close()s if still open
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  // Thread (track) metadata: names the track `tid` under process `pid`.
+  void thread_name(int pid, int tid, std::string_view name);
+
+  // Instant event at time t on track tid. `args_json`, when nonempty, is a
+  // complete JSON object used as the event's "args".
+  void instant(std::string_view name, Time t, int tid,
+               std::string_view args_json = {});
+
+  // Duration ("complete") event: [start, start+dur] on track tid.
+  void complete(std::string_view name, Time start, Duration dur, int tid,
+                std::string_view args_json = {});
+
+  // Counter sample: series `series` of counter `name` has value v at t.
+  void counter(std::string_view name, std::string_view series, Time t,
+               double v);
+
+  // Finalizes the JSON document. Idempotent.
+  void close();
+  bool closed() const { return closed_; }
+
+ private:
+  void begin_record();
+
+  std::ostream& os_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+// A probe that streams every executed event into a ChromeTraceWriter, so a
+// run becomes a Perfetto-loadable timeline with one track per machine.
+// Tracks are named lazily from Machine::name() on first use. Other probes
+// may share writer() to add counter tracks to the same document; the
+// document is finalized at on_run_end.
+class ChromeTraceProbe final : public Probe {
+ public:
+  explicit ChromeTraceProbe(std::ostream& os);
+
+  ChromeTraceWriter& writer() { return writer_; }
+
+  void on_event(const TimedEvent& e, const Machine& owner) override;
+  void on_run_end(Time now) override;
+
+ private:
+  ChromeTraceWriter writer_;
+  std::unordered_set<int> named_tracks_;
+};
+
+// Post-hoc export of an already-recorded trace (for callers that only have
+// the TimedTrace, e.g. loaded from disk). `machine_names[i]` labels track i
+// when provided.
+void write_chrome_trace(std::ostream& os, const TimedTrace& events,
+                        const std::vector<std::string>& machine_names = {});
+
+// The "args" object the exporters attach to an event (clock reading,
+// visibility); exposed for reuse/testing.
+std::string chrome_event_args(const TimedEvent& e);
+
+}  // namespace psc

@@ -7,7 +7,7 @@
 namespace psc {
 
 Executor::Executor(ExecutorOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options), rng_(options.seed), probes_(options_.probes) {}
 
 Executor::~Executor() = default;
 
@@ -27,6 +27,11 @@ void Executor::hide(const std::string& action_name) {
 
 void Executor::stop_when(std::function<bool()> predicate) {
   stop_when_ = std::move(predicate);
+}
+
+void Executor::attach_probe(Probe* probe) {
+  PSC_CHECK(probe != nullptr, "null probe");
+  probes_.push_back(probe);
 }
 
 std::vector<Executor::Candidate> Executor::gather_enabled() const {
@@ -59,7 +64,7 @@ void Executor::execute(const Candidate& c) {
       if (r == ActionRole::kInput) other->apply_input(c.action, now_);
     }
   }
-  if (options_.record_events) {
+  if (options_.record_events || !probes_.empty()) {
     TimedEvent e;
     e.action = c.action;
     e.time = now_;
@@ -67,7 +72,8 @@ void Executor::execute(const Candidate& c) {
     e.owner = static_cast<int>(c.machine);
     e.visible = role == ActionRole::kOutput &&
                 hidden_.find(c.action.name) == hidden_.end();
-    events_.push_back(std::move(e));
+    for (Probe* p : probes_) p->on_event(e, *owner);
+    if (options_.record_events) events_.push_back(std::move(e));
   }
   ++steps_;
 }
@@ -103,11 +109,14 @@ bool Executor::advance_time() {
             "time deadlock: next enabling at "
                 << format_time(next) << " but an upper bound stops time at "
                 << format_time(ub));
+  const Time prev = now_;
   now_ = next;
+  for (Probe* p : probes_) p->on_time_advance(prev, now_);
   return true;
 }
 
 ExecutorReport Executor::run() {
+  for (Probe* p : probes_) p->on_run_begin(now_);
   while (steps_ < options_.max_events) {
     if (stop_when_ && stop_when_()) break;
     auto candidates = gather_enabled();
@@ -123,6 +132,7 @@ ExecutorReport Executor::run() {
   PSC_CHECK(steps_ < options_.max_events,
             "event cap " << options_.max_events
                          << " reached — runaway execution?");
+  for (Probe* p : probes_) p->on_run_end(now_);
   ExecutorReport r;
   r.end_time = now_;
   r.steps = steps_;

@@ -22,6 +22,7 @@
 
 #include "core/machine.hpp"
 #include "core/trace.hpp"
+#include "obs/probe.hpp"
 #include "util/rng.hpp"
 
 namespace psc {
@@ -31,6 +32,11 @@ struct ExecutorOptions {
   std::uint64_t seed = 1;          // adversary seed (tie-breaking)
   std::size_t max_events = 10'000'000;  // runaway guard
   bool record_events = true;
+  // Observers notified on every executed event and time-passage step
+  // (non-owning; see obs/probe.hpp). With no probes attached the per-event
+  // cost is one empty-vector branch, so the uninstrumented hot path is
+  // unchanged.
+  std::vector<Probe*> probes = {};
 };
 
 struct ExecutorReport {
@@ -63,6 +69,10 @@ class Executor {
   // machinery fires every <= ell forever): stop once the workload is done.
   void stop_when(std::function<bool()> predicate);
 
+  // Attaches an observability probe (in addition to any from
+  // ExecutorOptions.probes). Non-owning; the probe must outlive the run.
+  void attach_probe(Probe* probe);
+
   // Runs until the horizon, quiescence, or the event cap.
   ExecutorReport run();
 
@@ -87,6 +97,7 @@ class Executor {
   std::vector<std::unique_ptr<Machine>> owned_;
   std::unordered_set<std::string> hidden_;
   std::function<bool()> stop_when_;
+  std::vector<Probe*> probes_;
   Time now_ = 0;
   std::size_t steps_ = 0;
   bool quiesced_ = false;

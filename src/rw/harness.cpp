@@ -1,6 +1,7 @@
 #include "rw/harness.hpp"
 
 #include "mmt/mmt_system.hpp"
+#include "obs/instrument.hpp"
 #include "rw/sliced.hpp"
 #include "runtime/clocked.hpp"
 #include "runtime/composite.hpp"
@@ -71,6 +72,19 @@ ChannelConfig channel_config(const RwRunConfig& cfg) {
   return cc;
 }
 
+// Points a Sim1BufferProbe at the S/R buffers inside one node composite.
+void watch_node_buffers(Sim1BufferProbe* bp, const CompositeMachine& comp) {
+  if (bp == nullptr) return;
+  for (std::size_t k = 0; k < comp.size(); ++k) {
+    if (const auto* rb = dynamic_cast<const ReceiveBuffer*>(&comp.member(k))) {
+      bp->watch(rb);
+    } else if (const auto* sb =
+                   dynamic_cast<const SendBuffer*>(&comp.member(k))) {
+      bp->watch(sb);
+    }
+  }
+}
+
 }  // namespace
 
 RwRunResult run_rw_timed(const RwRunConfig& cfg) {
@@ -80,6 +94,9 @@ RwRunResult run_rw_timed(const RwRunConfig& cfg) {
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
   add_timed_system(exec, g, channel_config(cfg),
                    make_rw_algorithms(cfg.num_nodes, algo_params(cfg, cfg.d2)));
+  RunObserver observer(cfg.obs);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.attach(exec);
   return finish(exec, clients);
 }
 
@@ -94,6 +111,15 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
   auto trajs = make_trajectories(cfg, drift);
   const auto handles = add_clock_system(exec, g, channel_config(cfg),
                                         std::move(algos), trajs);
+  RunObserver observer(cfg.obs);
+  observer.add_clock_skew(trajs, cfg.eps);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  if (Sim1BufferProbe* bp = observer.add_buffers()) {
+    for (auto* node : handles.nodes) {
+      watch_node_buffers(bp, dynamic_cast<CompositeMachine&>(node->inner()));
+    }
+  }
+  observer.attach(exec);
   auto result = finish(exec, clients);
   result.trajectories = std::move(trajs);
   for (auto* node : handles.nodes) {
@@ -137,6 +163,10 @@ RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
   }
   exec.hide("SENDMSG");
   exec.hide("RECVMSG");
+  RunObserver observer(cfg.obs);
+  observer.add_clock_skew(trajs, cfg.eps);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.attach(exec);
   auto result = finish(exec, clients);
   result.trajectories = std::move(trajs);
   return result;
@@ -164,8 +194,14 @@ RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
     }
     return true;
   });
+  RunObserver observer(cfg.obs);
+  observer.add_clock_skew(trajs, cfg.eps);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  if (MmtProbe* mp = observer.add_mmt()) {
+    for (const auto* node : handles.nodes) mp->watch(node);
+  }
+  observer.attach(exec);
   auto result = finish(exec, clients);
-  (void)handles;
   result.trajectories = std::move(trajs);
   return result;
 }
@@ -192,6 +228,10 @@ RwRunResult run_rw_clock_nobuffer(const RwRunConfig& cfg,
   }
   exec.hide("SENDMSG");
   exec.hide("RECVMSG");
+  RunObserver observer(cfg.obs);
+  observer.add_clock_skew(trajs, cfg.eps);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.attach(exec);
   auto result = finish(exec, clients);
   result.trajectories = std::move(trajs);
   return result;

@@ -25,6 +25,8 @@
 
 namespace psc {
 
+struct ObsOptions;  // obs/instrument.hpp
+
 struct RwRunConfig {
   int num_nodes = 3;
   // Physical channel bounds of the model the system runs in.
@@ -45,6 +47,13 @@ struct RwRunConfig {
   // Run control.
   std::uint64_t seed = 1;
   Time horizon = seconds(30);
+  // Observability (see obs/instrument.hpp). When set, the harness attaches
+  // the built-in probes that apply to the assembly being run — clock skew
+  // vs eps, channel latency vs [d1, d2], Simulation-1 buffer occupancy and
+  // hold times, MMT tick-to-action latency — and, when the options carry a
+  // chrome_out stream, emits a Chrome trace of the run. Null => no probes,
+  // no overhead.
+  const ObsOptions* obs = nullptr;
 };
 
 struct RwRunResult {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "algos/tobcast.hpp"
+#include "obs/instrument.hpp"
 #include "runtime/composite.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/system.hpp"
@@ -360,6 +361,9 @@ QueueRunResult run_queue_timed(const QueueRunConfig& cfg) {
   cc.seed = cfg.seed ^ 0x99;
   add_timed_system(exec, Graph::complete_with_self_loops(cfg.num_nodes), cc,
                    make_queue_nodes(cfg.num_nodes, cfg.d2, cfg.delta));
+  RunObserver observer(cfg.obs);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.attach(exec);
   return collect(exec, clients);
 }
 
@@ -378,10 +382,28 @@ QueueRunResult run_queue_clock(const QueueRunConfig& cfg,
   cc.d1 = cfg.d1;
   cc.d2 = cfg.d2;
   cc.seed = cfg.seed ^ 0x55;
-  add_clock_system(exec, Graph::complete_with_self_loops(cfg.num_nodes), cc,
-                   make_queue_nodes(cfg.num_nodes,
-                                    timed_d2(cfg.d2, cfg.eps), cfg.delta),
-                   trajs);
+  const auto handles = add_clock_system(
+      exec, Graph::complete_with_self_loops(cfg.num_nodes), cc,
+      make_queue_nodes(cfg.num_nodes, timed_d2(cfg.d2, cfg.eps), cfg.delta),
+      trajs);
+  RunObserver observer(cfg.obs);
+  observer.add_clock_skew(trajs, cfg.eps);
+  observer.add_channel_latency(cfg.d1, cfg.d2);
+  if (Sim1BufferProbe* bp = observer.add_buffers()) {
+    for (auto* node : handles.nodes) {
+      auto& comp = dynamic_cast<CompositeMachine&>(node->inner());
+      for (std::size_t k = 0; k < comp.size(); ++k) {
+        if (const auto* rb =
+                dynamic_cast<const ReceiveBuffer*>(&comp.member(k))) {
+          bp->watch(rb);
+        } else if (const auto* sb =
+                       dynamic_cast<const SendBuffer*>(&comp.member(k))) {
+          bp->watch(sb);
+        }
+      }
+    }
+  }
+  observer.attach(exec);
   return collect(exec, clients);
 }
 

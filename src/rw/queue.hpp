@@ -27,6 +27,8 @@
 
 namespace psc {
 
+struct ObsOptions;  // obs/instrument.hpp
+
 // --- specification -------------------------------------------------------------
 
 struct QueueOp {
@@ -137,6 +139,8 @@ struct QueueRunConfig {
   Duration think_max = milliseconds(1);
   std::uint64_t seed = 1;
   Time horizon = seconds(30);
+  // Observability hookup, as in RwRunConfig (see obs/instrument.hpp).
+  const ObsOptions* obs = nullptr;
 };
 
 // Timed model (d2' = d2).

@@ -17,15 +17,22 @@
 // eps_us[50] c_us[40] ell_us[10] write_frac[0.5] drift[zigzag] seed[1]
 // super[1] trace[""]   (drift: perfect|offset+|offset-|zigzag|random|
 // opposing|disciplined)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-out=PATH   dump the run's metrics registry as JSONL
+//   --chrome-trace=PATH  write a Chrome trace_event JSON of the run —
+//                        open in chrome://tracing or ui.perfetto.dev
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "clock/discipline.hpp"
 #include "core/trace_io.hpp"
 #include "mmt/mmt_system.hpp"
+#include "obs/instrument.hpp"
 #include "rw/harness.hpp"
 #include "rw/queue.hpp"
 #include "util/stats.hpp"
@@ -100,6 +107,55 @@ void print_latency(const char* label, const std::vector<Duration>& ls) {
             << format_time(static_cast<Time>(s.max())) << "\n";
 }
 
+// Observability plumbing shared by all scenarios: owns the output streams
+// and the registry, hands the harness an ObsOptions, and writes the JSONL
+// dump once the run is over.
+class ObsSetup {
+ public:
+  explicit ObsSetup(const std::map<std::string, std::string>& args) {
+    metrics_path_ = gets(args, "metrics-out", "");
+    chrome_path_ = gets(args, "chrome-trace", "");
+    if (!metrics_path_.empty()) opts_.registry = &registry_;
+    if (!chrome_path_.empty()) {
+      chrome_.open(chrome_path_);
+      if (!chrome_) {
+        std::cerr << "cannot open " << chrome_path_ << "\n";
+        std::exit(2);
+      }
+      opts_.chrome_out = &chrome_;
+    }
+  }
+
+  const ObsOptions* options() const {
+    return opts_.enabled() ? &opts_ : nullptr;
+  }
+
+  void finish(const TimedTrace& events, Time end_time) {
+    if (opts_.registry != nullptr) {
+      registry_.gauge("run.end_time_ns").set(static_cast<double>(end_time));
+      registry_.counter("run.events").add(events.size());
+      std::ofstream os(metrics_path_);
+      if (!os) {
+        std::cerr << "cannot open " << metrics_path_ << "\n";
+        std::exit(2);
+      }
+      registry_.write_jsonl(os);
+      std::cout << "metrics (" << registry_.size() << " series) written to "
+                << metrics_path_ << "\n";
+    }
+    if (!chrome_path_.empty()) {
+      std::cout << "chrome trace written to " << chrome_path_
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+
+ private:
+  MetricsRegistry registry_;
+  std::ofstream chrome_;
+  std::string metrics_path_, chrome_path_;
+  ObsOptions opts_;
+};
+
 void maybe_dump(const std::string& path, const TimedTrace& events) {
   if (path.empty()) return;
   std::ofstream os(path);
@@ -127,6 +183,8 @@ int run_register(const std::string& scenario,
   cfg.think_max = microseconds(300);
   cfg.horizon = seconds(60);
   const auto drift = make_drift(gets(args, "drift", "zigzag"));
+  ObsSetup obs(args);
+  cfg.obs = obs.options();
 
   RwRunResult run;
   if (scenario == "rw-timed") {
@@ -148,6 +206,7 @@ int run_register(const std::string& scenario,
   std::cout << "linearizability: " << (lin.ok ? "VERIFIED" : "VIOLATED")
             << " (" << lin.states << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
+  obs.finish(run.events, run.end_time);
   return lin.ok ? 0 : 1;
 }
 
@@ -163,6 +222,8 @@ int run_queue(const std::map<std::string, std::string>& args) {
   cfg.think_max = microseconds(300);
   cfg.horizon = seconds(60);
   const auto drift = make_drift(gets(args, "drift", "zigzag"));
+  ObsSetup obs(args);
+  cfg.obs = obs.options();
   const auto run = run_queue_clock(cfg, *drift);
   std::cout << "queue: " << run.ops.size() << " operations, "
             << run.events.size() << " events\n";
@@ -171,6 +232,7 @@ int run_queue(const std::map<std::string, std::string>& args) {
             << (lin.ok ? "VERIFIED" : "VIOLATED") << " (" << lin.states
             << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
+  obs.finish(run.events, ltime(run.events));
   return lin.ok ? 0 : 1;
 }
 
