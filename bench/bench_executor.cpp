@@ -1,0 +1,207 @@
+// Executor scheduler bench: calendar/dirty-set loop vs the legacy
+// O(machines)-per-event polling loop, on the two workload shapes that
+// bracket the runtime's use (docs/EXECUTOR.md):
+//
+//   flood  — ring of n FloodNodes + n channels (2n machines): sparse
+//            event cascade, worst case for per-event full re-polling;
+//   queue  — replicated queue over a complete-with-self-loops graph
+//            (2n + n^2 machines): broadcast-heavy, stresses output
+//            fan-out/routing.
+//
+// Rows report median-of-`--repeats` ns/event for both loops at fixed
+// seeds; both arms must execute the same number of events (the schedulers
+// are trace-equivalent — tests/scheduler_test.cpp proves byte equality).
+// `--json PATH` writes the rows as JSONL for cross-PR perf diffing
+// (BENCH_executor.json); `--smoke` shrinks the sweep for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/flood.hpp"
+#include "common.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "rw/queue.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace psc::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+std::unique_ptr<Executor> build_flood(int n, bool legacy) {
+  auto exec = std::make_unique<Executor>(
+      ExecutorOptions{.horizon = seconds(10),
+                      .seed = kSeed,
+                      .record_events = false,
+                      .legacy_scan = legacy});
+  const Graph g = Graph::ring(n);
+  ChannelConfig cc;
+  cc.d1 = microseconds(50);
+  cc.d2 = microseconds(200);
+  cc.seed = kSeed;
+  add_timed_system(*exec, g, cc,
+                   make_flood_nodes(g, /*source=*/0, 0xf100d,
+                                    /*hops_bound=*/g.n, cc.d2, 1));
+  return exec;
+}
+
+std::unique_ptr<Executor> build_queue(int n, bool legacy) {
+  auto exec = std::make_unique<Executor>(
+      ExecutorOptions{.horizon = seconds(30),
+                      .seed = kSeed,
+                      .record_events = false,
+                      .legacy_scan = legacy});
+  Rng seeder(kSeed ^ 0x9c);
+  for (int i = 0; i < n; ++i) {
+    QueueClient::Options o;
+    o.node = i;
+    o.num_ops = 6;
+    o.enq_fraction = 0.5;
+    o.think_min = 0;
+    o.think_max = microseconds(200);
+    o.seed = seeder.next();
+    exec->add_owned(std::make_unique<QueueClient>(o));
+  }
+  ChannelConfig cc;
+  cc.d1 = microseconds(20);
+  cc.d2 = microseconds(250);
+  cc.seed = kSeed ^ 0x99;
+  add_timed_system(*exec, Graph::complete_with_self_loops(n), cc,
+                   make_queue_nodes(n, cc.d2, /*delta=*/1));
+  return exec;
+}
+
+struct Arm {
+  double ns_per_event = 0;
+  std::size_t events = 0;
+  std::size_t machines = 0;
+};
+
+// Median-of-`repeats` ns/event over fresh builds; only run() is timed.
+Arm measure(const std::string& workload, int n, bool legacy, int repeats) {
+  std::vector<double> samples;
+  Arm arm;
+  for (int r = 0; r < repeats; ++r) {
+    auto exec = workload == "flood" ? build_flood(n, legacy)
+                                    : build_queue(n, legacy);
+    arm.machines = exec->machine_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = exec->run();
+    const auto t1 = std::chrono::steady_clock::now();
+    PSC_CHECK(report.steps > 0, workload << " n=" << n << " ran no events");
+    arm.events = report.steps;
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    samples.push_back(ns / static_cast<double>(report.steps));
+  }
+  std::sort(samples.begin(), samples.end());
+  arm.ns_per_event = samples[samples.size() / 2];
+  return arm;
+}
+
+struct Row {
+  std::string workload;
+  int nodes = 0;
+  std::size_t machines = 0;
+  std::size_t events = 0;
+  double legacy_ns = 0;
+  double sched_ns = 0;
+  double speedup = 0;
+};
+
+Row run_config(const std::string& workload, int n, int repeats) {
+  const Arm legacy = measure(workload, n, true, repeats);
+  const Arm sched = measure(workload, n, false, repeats);
+  shape(legacy.events == sched.events,
+        workload + " n=" + std::to_string(n) +
+            ": both schedulers execute the same event count");
+  Row row;
+  row.workload = workload;
+  row.nodes = n;
+  row.machines = sched.machines;
+  row.events = sched.events;
+  row.legacy_ns = legacy.ns_per_event;
+  row.sched_ns = sched.ns_per_event;
+  row.speedup = legacy.ns_per_event / sched.ns_per_event;
+  std::printf("  %-6s %5d %9zu %8zu %14.1f %14.1f %9.2fx\n",
+              workload.c_str(), n, row.machines, row.events, row.legacy_ns,
+              row.sched_ns, row.speedup);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream os(path);
+  PSC_CHECK(os.good(), "cannot open " << path);
+  for (const Row& r : rows) {
+    os << "{\"bench\":\"bench_executor\",\"workload\":\"" << r.workload
+       << "\",\"nodes\":" << r.nodes << ",\"machines\":" << r.machines
+       << ",\"events\":" << r.events << ",\"legacy_ns_per_event\":"
+       << r.legacy_ns << ",\"sched_ns_per_event\":" << r.sched_ns
+       << ",\"speedup\":" << r.speedup << ",\"seed\":" << kSeed << "}\n";
+  }
+  note("\nresults written to " + path);
+}
+
+}  // namespace
+}  // namespace psc::bench
+
+int main(int argc, char** argv) {
+  using namespace psc::bench;
+  bool smoke = false;
+  int repeats = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--repeats N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) repeats = 1;
+
+  banner("executor scheduler: calendar/dirty-set loop vs legacy polling");
+  note("median-of-" + std::to_string(repeats) +
+       " ns/event, fixed seed, run() only (assembly excluded)");
+  std::printf("  %-6s %5s %9s %8s %14s %14s %9s\n", "work", "n", "machines",
+              "events", "legacy ns/ev", "sched ns/ev", "speedup");
+
+  std::vector<int> flood_nodes =
+      smoke ? std::vector<int>{4, 8}
+            : std::vector<int>{4, 8, 16, 32, 64, 128, 256};
+  std::vector<int> queue_nodes =
+      smoke ? std::vector<int>{3} : std::vector<int>{3, 6, 12, 16};
+
+  std::vector<Row> rows;
+  for (int n : flood_nodes) rows.push_back(run_config("flood", n, repeats));
+  for (int n : queue_nodes) rows.push_back(run_config("queue", n, repeats));
+
+  // The PR's acceptance bar: >= 3x ns/event at >= 128 machines. Smoke runs
+  // stay below that scale on purpose (CI boxes are noisy); the full sweep
+  // enforces it.
+  if (!smoke) {
+    for (const Row& r : rows) {
+      if (r.machines >= 128) {
+        shape(r.speedup >= 3.0,
+              r.workload + " n=" + std::to_string(r.nodes) + " (" +
+                  std::to_string(r.machines) + " machines): speedup " +
+                  std::to_string(r.speedup) + " >= 3x");
+      }
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, rows);
+  return finish();
+}

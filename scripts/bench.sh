@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Perf gate: build RelWithDebInfo (no sanitizers) and run the perf bench
+# binaries with fixed seeds, writing BENCH_*.json (median-of-5 ns/event
+# rows) into the repo root so PRs can diff performance against the
+# committed baselines.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build-bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+REPEATS="${PSC_BENCH_REPEATS:-5}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+cmake --build "$BUILD_DIR" -j --target bench_executor
+
+"$BUILD_DIR"/bench/bench_executor --repeats "$REPEATS" \
+  --json BENCH_executor.json

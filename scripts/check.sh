@@ -17,3 +17,7 @@ cmake -B "$BUILD_DIR" -S . -G Ninja \
 cmake --build "$BUILD_DIR" -j
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Smoke the perf bench under the sanitizers (tiny sweep, no timing claims):
+# catches memory errors on the scheduler hot path that tests may not reach.
+"$BUILD_DIR"/bench/bench_executor --smoke

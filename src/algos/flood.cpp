@@ -33,6 +33,15 @@ ActionRole FloodNode::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool FloodNode::declare_signature(SignatureDecl& decl) const {
+  const int i = params_.node;
+  decl.input("RECVMSG", i);
+  decl.output("SENDMSG", i);
+  decl.output("DELIVER", i);
+  if (params_.source) decl.output("COMPLETE", i);
+  return true;
+}
+
 void FloodNode::apply_input(const Action& a, Time /*now*/) {
   PSC_CHECK(a.msg && a.msg->kind == "FLOOD", "unexpected message");
   if (got_payload_) return;  // duplicates are ignored (relay-once)

@@ -25,6 +25,15 @@ ActionRole TobcastNode::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool TobcastNode::declare_signature(SignatureDecl& decl) const {
+  const int i = params_.node;
+  decl.input("TOBCAST", i);
+  decl.input("RECVMSG", i);
+  decl.output("SENDMSG", i);
+  decl.output("TODELIVER", i);
+  return true;
+}
+
 void TobcastNode::apply_input(const Action& a, Time now) {
   if (a.name == "TOBCAST") {
     Outgoing o;

@@ -102,6 +102,12 @@ ActionRole Channel::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool Channel::declare_signature(SignatureDecl& decl) const {
+  decl.input(send_name_, i_, j_);
+  decl.output(recv_name_, j_, i_);
+  return true;
+}
+
 void Channel::apply_input(const Action& a, Time t) {
   PSC_CHECK(a.msg.has_value(), "send without message: " << to_string(a));
   const Duration delay = policy_->sample(d1_, d2_, rng_);

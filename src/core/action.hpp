@@ -6,8 +6,12 @@
 // by the trace relations' kappa classes.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/message.hpp"
@@ -17,6 +21,10 @@
 namespace psc {
 
 inline constexpr int kNoNode = -1;
+
+// Wildcard for signature declarations (machine.hpp): an entry with node or
+// peer set to kAnyNode matches any value of that field.
+inline constexpr int kAnyNode = -2;
 
 struct Action {
   std::string name;          // e.g. "READ", "SENDMSG"
@@ -38,6 +46,70 @@ struct Action {
 };
 
 std::string to_string(const Action& a);
+
+// --- Interned action kinds ----------------------------------------------
+//
+// An action *kind* is the (name, node, peer) triple — exactly the identity
+// used by Action::same_kind(). The executor interns each distinct kind to a
+// dense integer id so that hot-path routing, composition-compatibility
+// checks and hiding are integer tests instead of per-event string hashing
+// (see runtime/executor.hpp and docs/EXECUTOR.md).
+
+using ActionKindId = std::int32_t;
+inline constexpr ActionKindId kNoKind = -1;
+
+struct ActionKindKey {
+  std::string name;
+  int node = kNoNode;
+  int peer = kNoNode;
+
+  bool operator==(const ActionKindKey& o) const {
+    return node == o.node && peer == o.peer && name == o.name;
+  }
+};
+
+// Borrowed key for allocation-free lookups from a live Action.
+struct ActionKindView {
+  std::string_view name;
+  int node = kNoNode;
+  int peer = kNoNode;
+};
+
+namespace detail {
+inline std::size_t kind_hash(std::string_view name, int node, int peer) {
+  std::size_t h = std::hash<std::string_view>{}(name);
+  h ^= static_cast<std::size_t>(node) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= static_cast<std::size_t>(peer) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h;
+}
+}  // namespace detail
+
+// Transparent hash/eq so an unordered_map keyed by ActionKindKey can be
+// probed with an ActionKindView without constructing a std::string.
+struct ActionKindHash {
+  using is_transparent = void;
+  std::size_t operator()(const ActionKindKey& k) const {
+    return detail::kind_hash(k.name, k.node, k.peer);
+  }
+  std::size_t operator()(const ActionKindView& v) const {
+    return detail::kind_hash(v.name, v.node, v.peer);
+  }
+};
+
+struct ActionKindEq {
+  using is_transparent = void;
+  bool operator()(const ActionKindKey& a, const ActionKindKey& b) const {
+    return a == b;
+  }
+  bool operator()(const ActionKindView& a, const ActionKindKey& b) const {
+    return a.node == b.node && a.peer == b.peer && a.name == b.name;
+  }
+  bool operator()(const ActionKindKey& a, const ActionKindView& b) const {
+    return a.node == b.node && a.peer == b.peer && a.name == b.name;
+  }
+};
 
 // --- Constructors mirroring the paper's notation -------------------------
 

@@ -16,4 +16,21 @@ const char* to_string(ActionRole role) {
   return "?";
 }
 
+void SignatureDecl::add(std::string name, int node, int peer,
+                        ActionRole role) {
+  entries_.push_back(Entry{std::move(name), node, peer, role});
+}
+
+void SignatureDecl::input(std::string name, int node, int peer) {
+  add(std::move(name), node, peer, ActionRole::kInput);
+}
+
+void SignatureDecl::output(std::string name, int node, int peer) {
+  add(std::move(name), node, peer, ActionRole::kOutput);
+}
+
+void SignatureDecl::internal(std::string name, int node, int peer) {
+  add(std::move(name), node, peer, ActionRole::kInternal);
+}
+
 }  // namespace psc

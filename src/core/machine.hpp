@@ -38,6 +38,34 @@ enum class ActionRole {
 
 const char* to_string(ActionRole role);
 
+// A machine's action signature, declared per *kind* (name, node, peer) for
+// the executor's interned routing fast path. A kAnyNode node/peer matches
+// any value of that field. The declaration must agree with classify(): an
+// entry (k, role) means classify(a) == role for every action a of a kind
+// matched by k, and classify must be kNotMine for every kind no entry
+// matches. Machines that cannot enumerate their signature (e.g. a
+// predicate-based acceptor) simply do not declare and stay on the
+// classify() fallback path.
+class SignatureDecl {
+ public:
+  struct Entry {
+    std::string name;
+    int node = kAnyNode;
+    int peer = kAnyNode;
+    ActionRole role = ActionRole::kNotMine;
+  };
+
+  void input(std::string name, int node = kAnyNode, int peer = kAnyNode);
+  void output(std::string name, int node = kAnyNode, int peer = kAnyNode);
+  void internal(std::string name, int node = kAnyNode, int peer = kAnyNode);
+  void add(std::string name, int node, int peer, ActionRole role);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 class Machine {
  public:
   explicit Machine(std::string name) : name_(std::move(name)) {}
@@ -50,6 +78,17 @@ class Machine {
 
   // Membership of `a` in the machine's action signature.
   virtual ActionRole classify(const Action& a) const = 0;
+
+  // Optional enumeration of the signature by action kind, used by the
+  // executor to intern kinds and build its subscription index at add()
+  // time. Append entries to `decl` and return true to opt in; the default
+  // (false) keeps the machine on the per-event classify() fallback path,
+  // which is always correct. When opting in the declaration must exactly
+  // mirror classify() (see SignatureDecl) and must be stable for the
+  // machine's lifetime — declare only after the machine is fully assembled.
+  virtual bool declare_signature(SignatureDecl& /*decl*/) const {
+    return false;
+  }
 
   // Input effect (input-enabled: must accept any action classified kInput).
   virtual void apply_input(const Action& a, Time t) = 0;

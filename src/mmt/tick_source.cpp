@@ -31,6 +31,11 @@ ActionRole TickSource::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool TickSource::declare_signature(SignatureDecl& decl) const {
+  decl.output("TICK", node_);
+  return true;
+}
+
 void TickSource::apply_input(const Action& a, Time /*t*/) {
   PSC_CHECK(false, "TickSource has no inputs: " << to_string(a));
 }

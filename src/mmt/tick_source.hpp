@@ -24,6 +24,7 @@ class TickSource final : public Machine {
              Duration ell, Rng rng, double min_gap_frac = 0.25);
 
   ActionRole classify(const Action& a) const override;
+  bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time t) override;
   std::vector<Action> enabled(Time t) const override;
   void apply_local(const Action& a, Time t) override;

@@ -17,6 +17,10 @@ ActionRole ClockedMachine::classify(const Action& a) const {
   return inner_->classify(a);
 }
 
+bool ClockedMachine::declare_signature(SignatureDecl& decl) const {
+  return inner_->declare_signature(decl);
+}
+
 void ClockedMachine::apply_input(const Action& a, Time t) {
   inner_->apply_input(a, traj_->clock_at(t));
 }

@@ -54,6 +54,63 @@ ActionRole CompositeMachine::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+namespace {
+// Whether two declared entries can match a common action kind: names equal
+// and each of node/peer either equal or wildcarded on one side.
+bool entries_overlap(const SignatureDecl::Entry& a,
+                     const SignatureDecl::Entry& b) {
+  if (a.name != b.name) return false;
+  const bool node_ok = a.node == kAnyNode || b.node == kAnyNode ||
+                       a.node == b.node;
+  const bool peer_ok = a.peer == kAnyNode || b.peer == kAnyNode ||
+                       a.peer == b.peer;
+  return node_ok && peer_ok;
+}
+}  // namespace
+
+bool CompositeMachine::declare_signature(SignatureDecl& decl) const {
+  struct Local {
+    SignatureDecl::Entry entry;
+    std::size_t member;
+  };
+  std::vector<Local> locals;
+  std::vector<SignatureDecl::Entry> inputs;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    SignatureDecl member_decl;
+    if (!members_[i]->declare_signature(member_decl)) return false;
+    for (const SignatureDecl::Entry& e : member_decl.entries()) {
+      if (e.role == ActionRole::kInput) {
+        inputs.push_back(e);
+      } else {
+        locals.push_back(Local{e, i});
+      }
+    }
+  }
+  // Two members whose local entries can match a common kind must keep the
+  // classify() path so its double-local check still fires per action.
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    for (std::size_t j = i + 1; j < locals.size(); ++j) {
+      if (locals[i].member != locals[j].member &&
+          entries_overlap(locals[i].entry, locals[j].entry)) {
+        return false;
+      }
+    }
+  }
+  for (const Local& l : locals) {
+    const ActionRole role = hidden_.count(l.entry.name)
+                                ? ActionRole::kInternal
+                                : ActionRole::kOutput;
+    decl.add(l.entry.name, l.entry.node, l.entry.peer, role);
+  }
+  // Inputs shadowed by a local entry are resolved in the executor (a
+  // machine never subscribes to a kind it claims), matching classify()'s
+  // local-beats-input rule.
+  for (const SignatureDecl::Entry& e : inputs) {
+    decl.add(e.name, e.node, e.peer, ActionRole::kInput);
+  }
+  return true;
+}
+
 void CompositeMachine::apply_input(const Action& a, Time t) {
   for (const auto& m : members_) {
     if (m->classify(a) == ActionRole::kInput) m->apply_input(a, t);

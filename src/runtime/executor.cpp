@@ -1,19 +1,45 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace psc {
 
+namespace {
+// Min-heap order on wake times.
+constexpr auto kWakeLater = [](const auto& a, const auto& b) {
+  return a.t > b.t;
+};
+}  // namespace
+
 Executor::Executor(ExecutorOptions options)
-    : options_(options), rng_(options.seed), probes_(options_.probes) {}
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      probes_(std::move(options_.probes)) {}
 
 Executor::~Executor() = default;
 
 void Executor::add(Machine* machine) {
   PSC_CHECK(machine != nullptr, "null machine");
+  const std::size_t m = machines_.size();
   machines_.push_back(machine);
+  sched_.emplace_back();
+  in_dirty_.push_back(0);
+  SignatureDecl decl;
+  if (machine->declare_signature(decl)) {
+    sched_[m].declared = true;
+    ++declared_count_;
+    for (const SignatureDecl::Entry& e : decl.entries()) {
+      decls_by_name_[e.name].push_back(DeclRecord{e.node, e.peer, e.role, m});
+    }
+  } else {
+    generic_.push_back(m);
+  }
+  // The new machine may subscribe to or claim already-interned kinds.
+  for (KindInfo& k : kinds_) k.resolved = false;
 }
 
 void Executor::add_owned(std::unique_ptr<Machine> machine) {
@@ -23,6 +49,11 @@ void Executor::add_owned(std::unique_ptr<Machine> machine) {
 
 void Executor::hide(const std::string& action_name) {
   hidden_.insert(action_name);
+  // Assemblies hide after add(): keep already-interned kinds in sync so the
+  // per-event visibility test stays a plain flag read.
+  for (std::size_t i = 0; i < kind_keys_.size(); ++i) {
+    if (kind_keys_[i].name == action_name) kinds_[i].hidden = true;
+  }
 }
 
 void Executor::stop_when(std::function<bool()> predicate) {
@@ -33,6 +64,295 @@ void Executor::attach_probe(Probe* probe) {
   PSC_CHECK(probe != nullptr, "null probe");
   probes_.push_back(probe);
 }
+
+// --- interned action kinds and the subscription index ---------------------
+
+ActionKindId Executor::intern(const Action& a) {
+  const ActionKindView view{a.name, a.node, a.peer};
+  auto it = kind_ids_.find(view);
+  if (it != kind_ids_.end()) return it->second;
+  const ActionKindId id = static_cast<ActionKindId>(kinds_.size());
+  ActionKindKey key{a.name, a.node, a.peer};
+  kind_ids_.emplace(key, id);
+  kind_keys_.push_back(std::move(key));
+  KindInfo info;
+  info.hidden = hidden_.find(a.name) != hidden_.end();
+  kinds_.push_back(std::move(info));
+  return id;
+}
+
+void Executor::resolve_kind(ActionKindId id) {
+  KindInfo& k = kinds_[static_cast<std::size_t>(id)];
+  k.claimants.clear();
+  k.subscribers.clear();
+  const ActionKindKey& key = kind_keys_[static_cast<std::size_t>(id)];
+  const auto bucket = decls_by_name_.find(key.name);
+  if (bucket != decls_by_name_.end()) {
+    // Records were appended at add() time, so the bucket is sorted by
+    // machine index and a back() test suffices for dedup.
+    for (const DeclRecord& d : bucket->second) {
+      if (d.node != kAnyNode && d.node != key.node) continue;
+      if (d.peer != kAnyNode && d.peer != key.peer) continue;
+      if (d.role == ActionRole::kInput) {
+        if (k.subscribers.empty() || k.subscribers.back() != d.machine) {
+          k.subscribers.push_back(d.machine);
+        }
+      } else if (d.role == ActionRole::kOutput ||
+                 d.role == ActionRole::kInternal) {
+        if (k.claimants.empty() || k.claimants.back().first != d.machine) {
+          k.claimants.push_back({d.machine, d.role});
+        }
+      }
+    }
+  }
+  // Local beats input within one machine (composition semantics): a machine
+  // that locally controls a kind never receives it as its own input.
+  if (!k.claimants.empty() && !k.subscribers.empty()) {
+    std::erase_if(k.subscribers, [&k](std::size_t m) {
+      for (const auto& c : k.claimants) {
+        if (c.first == m) return true;
+      }
+      return false;
+    });
+  }
+  k.resolved = true;
+}
+
+// --- calendar / dirty-set scheduler ---------------------------------------
+
+void Executor::reset_sched() {
+  dirty_.clear();
+  ne_heap_.clear();
+  ub_heap_.clear();
+  total_cands_ = 0;
+  nonempty_.assign((machines_.size() + 63) / 64, 0);
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    sched_[m].cands.clear();
+    ++sched_[m].gen;
+    in_dirty_[m] = 1;
+    dirty_.push_back(m);
+  }
+}
+
+void Executor::mark_dirty(std::size_t m) {
+  if (!in_dirty_[m]) {
+    in_dirty_[m] = 1;
+    dirty_.push_back(m);
+  }
+}
+
+void Executor::set_nonempty(std::size_t m, bool v) {
+  const std::size_t word = m >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (m & 63);
+  if (v) {
+    nonempty_[word] |= bit;
+  } else {
+    nonempty_[word] &= ~bit;
+  }
+}
+
+void Executor::push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m) {
+  heap.push_back(WakeEntry{t, m, sched_[m].gen});
+  std::push_heap(heap.begin(), heap.end(), kWakeLater);
+  // Lazy invalidation lets stale entries pile up; compact once they dominate
+  // (each machine has at most one current-generation entry per heap).
+  if (heap.size() > 4 * machines_.size() + 64) {
+    std::erase_if(heap, [this](const WakeEntry& e) {
+      return e.gen != sched_[e.machine].gen;
+    });
+    std::make_heap(heap.begin(), heap.end(), kWakeLater);
+  }
+}
+
+void Executor::pop_wake(std::vector<WakeEntry>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), kWakeLater);
+  heap.pop_back();
+}
+
+void Executor::flush_dirty() {
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    const std::size_t m = dirty_[i];
+    in_dirty_[m] = 0;
+    Sched& s = sched_[m];
+    total_cands_ -= s.cands.size();
+    s.cands = machines_[m]->enabled(now_);
+    total_cands_ += s.cands.size();
+    set_nonempty(m, !s.cands.empty());
+    ++s.gen;
+    const Time ne = machines_[m]->next_enabled(now_);
+    PSC_CHECK(ne > now_ || ne == kTimeMax,
+              "machine " << machines_[m]->name() << " reported next_enabled "
+                         << format_time(ne) << " not after now "
+                         << format_time(now_));
+    if (ne != kTimeMax) push_wake(ne_heap_, ne, m);
+    const Time ub = machines_[m]->upper_bound(now_);
+    PSC_CHECK(ub >= now_, "machine " << machines_[m]->name()
+                                     << " upper_bound in the past: "
+                                     << format_time(ub) << " < "
+                                     << format_time(now_));
+    if (ub != kTimeMax) push_wake(ub_heap_, ub, m);
+  }
+  dirty_.clear();
+}
+
+std::pair<std::size_t, std::size_t> Executor::locate_candidate(
+    std::size_t k) const {
+  for (std::size_t w = 0; w < nonempty_.size(); ++w) {
+    std::uint64_t bits = nonempty_[w];
+    while (bits != 0) {
+      const std::size_t m =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      const std::size_t n = sched_[m].cands.size();
+      if (k < n) return {m, k};
+      k -= n;
+      bits &= bits - 1;
+    }
+  }
+  PSC_CHECK(false, "candidate index " << k << " out of range");
+  return {0, 0};
+}
+
+void Executor::record_event(const Action& a, std::size_t machine,
+                            ActionRole role, bool visible) {
+  TimedEvent e;
+  e.action = a;
+  e.time = now_;
+  e.clock = machines_[machine]->clock_reading(now_);
+  e.owner = static_cast<int>(machine);
+  e.visible = visible && role == ActionRole::kOutput;
+  for (Probe* p : probes_) p->on_event(e, *machines_[machine]);
+  if (options_.record_events) events_.push_back(std::move(e));
+}
+
+void Executor::execute_fast(std::size_t machine, std::size_t offset) {
+  Sched& s = sched_[machine];
+  // The machine is re-polled before the next pick, so the cached entry can
+  // be consumed in place.
+  const Action a = std::move(s.cands[offset]);
+  Machine* owner = machines_[machine];
+  const ActionKindId kid = intern(a);
+  KindInfo& k = kinds_[static_cast<std::size_t>(kid)];
+  if (!k.resolved) resolve_kind(kid);
+
+  ActionRole role = ActionRole::kNotMine;
+  if (s.declared) {
+    for (const auto& c : k.claimants) {
+      if (c.first == machine) {
+        role = c.second;
+        break;
+      }
+    }
+    PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
+              "machine " << owner->name() << " enabled action " << to_string(a)
+                         << " not locally controlled by its declared "
+                            "signature");
+  } else {
+    role = owner->classify(a);
+    PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
+              "machine " << owner->name() << " enabled non-local action "
+                         << to_string(a));
+  }
+
+  owner->apply_local(a, now_);
+  mark_dirty(machine);
+
+  if (role == ActionRole::kOutput) {
+    // Composition compatibility, with the same timing as the legacy scan:
+    // checked only when an output of the kind actually executes.
+    for (const auto& c : k.claimants) {
+      PSC_CHECK(c.first == machine,
+                "action " << to_string(a) << " is locally controlled by both "
+                          << owner->name() << " and "
+                          << machines_[c.first]->name()
+                          << " (incompatible composition)");
+    }
+    for (std::size_t m : k.subscribers) {
+      if (m == machine) continue;
+      machines_[m]->apply_input(a, now_);
+      mark_dirty(m);
+    }
+    // Machines without a declared signature stay on the classify() path.
+    for (std::size_t m : generic_) {
+      if (m == machine) continue;
+      Machine* other = machines_[m];
+      const ActionRole r = other->classify(a);
+      PSC_CHECK(r != ActionRole::kOutput && r != ActionRole::kInternal,
+                "action " << to_string(a) << " is locally controlled by both "
+                          << owner->name() << " and " << other->name()
+                          << " (incompatible composition)");
+      if (r == ActionRole::kInput) {
+        other->apply_input(a, now_);
+        mark_dirty(m);
+      }
+    }
+  }
+
+  if (options_.record_events || !probes_.empty()) {
+    record_event(a, machine, role, !k.hidden);
+  }
+  ++steps_;
+}
+
+bool Executor::advance_time_sched() {
+  while (!ne_heap_.empty() &&
+         ne_heap_.front().gen != sched_[ne_heap_.front().machine].gen) {
+    pop_wake(ne_heap_);
+  }
+  const Time next = ne_heap_.empty() ? kTimeMax : ne_heap_.front().t;
+  if (next >= kTimeMax) {
+    quiesced_ = true;
+    return false;  // nothing will ever enable again
+  }
+  if (next > options_.horizon) {
+    return false;  // future work exists but lies beyond the horizon
+  }
+  while (!ub_heap_.empty() &&
+         ub_heap_.front().gen != sched_[ub_heap_.front().machine].gen) {
+    pop_wake(ub_heap_);
+  }
+  const Time ub = ub_heap_.empty() ? kTimeMax : ub_heap_.front().t;
+  // Urgency consistency: if a machine forbids time passing some bound but
+  // nothing becomes enabled by then, the composition is deadlocked — a bug
+  // in the model under test, so fail loudly.
+  PSC_CHECK(next <= ub,
+            "time deadlock: next enabling at "
+                << format_time(next) << " but an upper bound stops time at "
+                << format_time(ub));
+  const Time prev = now_;
+  now_ = next;
+  for (Probe* p : probes_) p->on_time_advance(prev, now_);
+  // Wake everything whose hint has come due; woken machines are re-polled
+  // at the new now before the next pick.
+  while (!ne_heap_.empty() && ne_heap_.front().t <= now_) {
+    const WakeEntry e = ne_heap_.front();
+    pop_wake(ne_heap_);
+    if (e.gen == sched_[e.machine].gen) mark_dirty(e.machine);
+  }
+  while (!ub_heap_.empty() && ub_heap_.front().t <= now_) {
+    const WakeEntry e = ub_heap_.front();
+    pop_wake(ub_heap_);
+    if (e.gen == sched_[e.machine].gen) mark_dirty(e.machine);
+  }
+  return true;
+}
+
+void Executor::run_loop_sched() {
+  reset_sched();
+  while (steps_ < options_.max_events) {
+    if (stop_when_ && stop_when_()) break;
+    flush_dirty();
+    if (total_cands_ > 0) {
+      const std::size_t pick =
+          total_cands_ == 1 ? 0 : rng_.index(total_cands_);
+      const auto [m, offset] = locate_candidate(pick);
+      execute_fast(m, offset);
+      continue;
+    }
+    if (!advance_time_sched()) break;
+  }
+}
+
+// --- legacy polling loop (ExecutorOptions::legacy_scan) -------------------
 
 std::vector<Executor::Candidate> Executor::gather_enabled() const {
   std::vector<Candidate> out;
@@ -65,15 +385,8 @@ void Executor::execute(const Candidate& c) {
     }
   }
   if (options_.record_events || !probes_.empty()) {
-    TimedEvent e;
-    e.action = c.action;
-    e.time = now_;
-    e.clock = owner->clock_reading(now_);
-    e.owner = static_cast<int>(c.machine);
-    e.visible = role == ActionRole::kOutput &&
-                hidden_.find(c.action.name) == hidden_.end();
-    for (Probe* p : probes_) p->on_event(e, *owner);
-    if (options_.record_events) events_.push_back(std::move(e));
+    record_event(c.action, c.machine, role,
+                 hidden_.find(c.action.name) == hidden_.end());
   }
   ++steps_;
 }
@@ -102,9 +415,6 @@ bool Executor::advance_time() {
   if (next > options_.horizon) {
     return false;  // future work exists but lies beyond the horizon
   }
-  // Urgency consistency: if a machine forbids time passing some bound but
-  // nothing becomes enabled by then, the composition is deadlocked — a bug
-  // in the model under test, so fail loudly.
   PSC_CHECK(next <= ub,
             "time deadlock: next enabling at "
                 << format_time(next) << " but an upper bound stops time at "
@@ -115,8 +425,7 @@ bool Executor::advance_time() {
   return true;
 }
 
-ExecutorReport Executor::run() {
-  for (Probe* p : probes_) p->on_run_begin(now_);
+void Executor::run_loop_legacy() {
   while (steps_ < options_.max_events) {
     if (stop_when_ && stop_when_()) break;
     auto candidates = gather_enabled();
@@ -129,7 +438,19 @@ ExecutorReport Executor::run() {
     }
     if (!advance_time()) break;
   }
-  PSC_CHECK(steps_ < options_.max_events,
+}
+
+ExecutorReport Executor::run() {
+  for (Probe* p : probes_) p->on_run_begin(now_);
+  if (options_.legacy_scan) {
+    run_loop_legacy();
+  } else {
+    run_loop_sched();
+  }
+  const bool capped = steps_ >= options_.max_events;
+  // With a stop condition registered the cap is a reportable outcome (the
+  // predicate may have been about to fire); without one it is a runaway.
+  PSC_CHECK(!capped || stop_when_ != nullptr,
             "event cap " << options_.max_events
                          << " reached — runaway execution?");
   for (Probe* p : probes_) p->on_run_end(now_);
@@ -137,6 +458,7 @@ ExecutorReport Executor::run() {
   r.end_time = now_;
   r.steps = steps_;
   r.quiesced = quiesced_;
+  r.hit_event_cap = capped;
   return r;
 }
 

@@ -12,11 +12,23 @@
 // Nondeterministic choice among simultaneously enabled actions is resolved
 // by a seeded adversary (uniform random by default), so runs are
 // reproducible and sweepable across seeds.
+//
+// Scheduling: the default inner loop is event-driven rather than scanning —
+// a *dirty set* re-polls only machines whose state an event touched, a
+// *wake calendar* (lazy min-heaps over next_enabled/upper_bound hints)
+// replaces the per-advance O(machines) scan, and outputs are routed through
+// a subscription index over interned action kinds instead of calling
+// classify() on every machine. Seed-for-seed it produces byte-identical
+// traces and probe sequences to the legacy scan loop, which is kept behind
+// ExecutorOptions::legacy_scan for A/B tests and benchmarks. See
+// docs/EXECUTOR.md for the invalidation rules and the equivalence argument.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,10 +44,15 @@ struct ExecutorOptions {
   std::uint64_t seed = 1;          // adversary seed (tie-breaking)
   std::size_t max_events = 10'000'000;  // runaway guard
   bool record_events = true;
+  // Runs the pre-calendar O(machines)-per-event polling loop instead of the
+  // calendar/dirty-set scheduler. Trace- and probe-equivalent to the
+  // default; exists so determinism regressions and benches can A/B the two.
+  bool legacy_scan = false;
   // Observers notified on every executed event and time-passage step
-  // (non-owning; see obs/probe.hpp). With no probes attached the per-event
-  // cost is one empty-vector branch, so the uninstrumented hot path is
-  // unchanged.
+  // (non-owning; see obs/probe.hpp). Consumed at construction: the executor
+  // stores a single probe list, shared with attach_probe(). With no probes
+  // attached the per-event cost is one empty-vector branch, so the
+  // uninstrumented hot path is unchanged.
   std::vector<Probe*> probes = {};
 };
 
@@ -43,6 +60,11 @@ struct ExecutorReport {
   Time end_time = 0;
   std::size_t steps = 0;
   bool quiesced = false;  // no machine had pending future work at the end
+  // The run stopped because it executed max_events events. Only an error
+  // (PSC_CHECK) when no stop_when predicate was registered — a system that
+  // never quiesces on its own legitimately runs into the cap when its stop
+  // condition and the cap race on the same iteration.
+  bool hit_event_cap = false;
 };
 
 class Executor {
@@ -55,13 +77,16 @@ class Executor {
 
   // Machines participate in the composition. Non-owning add is for machines
   // the caller wants to inspect after the run; owned machines are destroyed
-  // with the executor.
+  // with the executor. add() interns the machine's declared signature (if
+  // any) into the routing index, so machines must be fully assembled —
+  // composite members added, hides applied — before being added here.
   void add(Machine* machine);
   void add_owned(std::unique_ptr<Machine> machine);
 
   // Hiding operator: outputs with this action name are recorded as
   // invisible (they still drive inputs — hiding only reclassifies
-  // output -> internal).
+  // output -> internal). Hiding a name no machine ever declares or emits is
+  // a no-op.
   void hide(const std::string& action_name);
 
   // Optional early-stop condition, checked between events. Needed for
@@ -70,15 +95,22 @@ class Executor {
   void stop_when(std::function<bool()> predicate);
 
   // Attaches an observability probe (in addition to any from
-  // ExecutorOptions.probes). Non-owning; the probe must outlive the run.
+  // ExecutorOptions.probes — both land in the same list, so they cannot
+  // drift apart). Non-owning; the probe must outlive the run.
   void attach_probe(Probe* probe);
 
-  // Runs until the horizon, quiescence, or the event cap.
+  // Runs until the horizon, quiescence, the stop_when predicate, or the
+  // event cap.
   ExecutorReport run();
 
   Time now() const { return now_; }
   const TimedTrace& events() const { return events_; }
   TimedTrace trace() const { return visible_trace(events_); }
+
+  // Introspection for tests and benches.
+  std::size_t machine_count() const { return machines_.size(); }
+  std::size_t declared_machine_count() const { return declared_count_; }
+  std::size_t interned_kind_count() const { return kinds_.size(); }
 
  private:
   struct Candidate {
@@ -86,22 +118,97 @@ class Executor {
     Action action;
   };
 
+  // --- interned action kinds and the subscription index -------------------
+
+  // One record per declared signature entry, bucketed by action name.
+  struct DeclRecord {
+    int node = kAnyNode;
+    int peer = kAnyNode;
+    ActionRole role = ActionRole::kNotMine;
+    std::size_t machine = 0;
+  };
+
+  struct KindInfo {
+    bool hidden = false;    // name was hide()-den: id test, not string hash
+    bool resolved = false;  // routing lists below are populated
+    // Declared machines locally controlling this kind (normally 0 or 1; two
+    // claimants is the "incompatible composition" error, raised when an
+    // output of this kind executes — same timing as the legacy scan).
+    std::vector<std::pair<std::size_t, ActionRole>> claimants;
+    // Declared machines inputting this kind, ascending machine index.
+    std::vector<std::size_t> subscribers;
+  };
+
+  ActionKindId intern(const Action& a);
+  void resolve_kind(ActionKindId id);
+
+  // --- calendar / dirty-set scheduler -------------------------------------
+
+  struct Sched {
+    std::vector<Action> cands;  // cached enabled() at the current (state, now)
+    std::uint32_t gen = 0;      // bumped per re-poll; lazily invalidates heap
+    bool declared = false;
+  };
+
+  struct WakeEntry {
+    Time t;
+    std::size_t machine;
+    std::uint32_t gen;
+  };
+
+  void reset_sched();
+  void mark_dirty(std::size_t m);
+  void flush_dirty();
+  void set_nonempty(std::size_t m, bool v);
+  // Maps a flat candidate index (machine-ascending, per-machine enabled()
+  // order — the legacy gather order) to (machine, offset).
+  std::pair<std::size_t, std::size_t> locate_candidate(std::size_t k) const;
+  void push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m);
+  void pop_wake(std::vector<WakeEntry>& heap);
+
+  void run_loop_sched();
+  bool advance_time_sched();
+  void execute_fast(std::size_t machine, std::size_t offset);
+  void record_event(const Action& a, std::size_t machine, ActionRole role,
+                    bool visible);
+
+  // --- legacy polling loop (ExecutorOptions::legacy_scan) -----------------
+
   std::vector<Candidate> gather_enabled() const;
   void execute(const Candidate& c);
   // Returns false when no further progress is possible before the horizon.
   bool advance_time();
+  void run_loop_legacy();
 
   ExecutorOptions options_;
   Rng rng_;
+  std::vector<Probe*> probes_;
   std::vector<Machine*> machines_;
   std::vector<std::unique_ptr<Machine>> owned_;
   std::unordered_set<std::string> hidden_;
   std::function<bool()> stop_when_;
-  std::vector<Probe*> probes_;
   Time now_ = 0;
   std::size_t steps_ = 0;
   bool quiesced_ = false;
   TimedTrace events_;
+
+  // Interning / routing state.
+  std::unordered_map<ActionKindKey, ActionKindId, ActionKindHash, ActionKindEq>
+      kind_ids_;
+  std::vector<ActionKindKey> kind_keys_;  // id -> key
+  std::vector<KindInfo> kinds_;           // id -> routing info
+  std::unordered_map<std::string, std::vector<DeclRecord>> decls_by_name_;
+  std::vector<std::size_t> generic_;  // machines on the classify() fallback
+  std::size_t declared_count_ = 0;
+
+  // Scheduler state.
+  std::vector<Sched> sched_;
+  std::vector<std::size_t> dirty_;
+  std::vector<char> in_dirty_;
+  std::vector<std::uint64_t> nonempty_;  // bitset over machines
+  std::size_t total_cands_ = 0;
+  std::vector<WakeEntry> ne_heap_;  // min-heap over next_enabled hints
+  std::vector<WakeEntry> ub_heap_;  // min-heap over upper_bound deadlines
 };
 
 }  // namespace psc

@@ -49,6 +49,27 @@ ActionRole RenamedMachine::classify(const Action& a) const {
   return inner_->classify(to_inner(a));
 }
 
+bool RenamedMachine::declare_signature(SignatureDecl& decl) const {
+  SignatureDecl inner_decl;
+  if (!inner_->declare_signature(inner_decl)) return false;
+  for (const SignatureDecl::Entry& e : inner_decl.entries()) {
+    auto mapped = outer_of_inner_.find(e.name);
+    if (mapped == outer_of_inner_.end()) {
+      // An unmapped inner name that is itself the image of another inner
+      // name is aliased at the boundary (see to_inner's shadowing check);
+      // keep such machines on the classify() path.
+      auto shadowed = inner_of_outer_.find(e.name);
+      if (shadowed != inner_of_outer_.end() && shadowed->second != e.name) {
+        return false;
+      }
+      decl.add(e.name, e.node, e.peer, e.role);
+    } else {
+      decl.add(mapped->second, e.node, e.peer, e.role);
+    }
+  }
+  return true;
+}
+
 void RenamedMachine::apply_input(const Action& a, Time t) {
   inner_->apply_input(to_inner(a), t);
 }

@@ -88,7 +88,7 @@ void watch_node_buffers(Sim1BufferProbe* bp, const CompositeMachine& comp) {
 }  // namespace
 
 RwRunResult run_rw_timed(const RwRunConfig& cfg) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -101,7 +101,7 @@ RwRunResult run_rw_timed(const RwRunConfig& cfg) {
 }
 
 RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -139,7 +139,7 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
 }
 
 RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete(cfg.num_nodes);
@@ -174,7 +174,7 @@ RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
 
 RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
                        Duration ell, int k) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -208,7 +208,7 @@ RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
 
 RwRunResult run_rw_clock_nobuffer(const RwRunConfig& cfg,
                                   const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);

@@ -47,6 +47,9 @@ struct RwRunConfig {
   // Run control.
   std::uint64_t seed = 1;
   Time horizon = seconds(30);
+  // Run on the executor's legacy polling loop (see ExecutorOptions) —
+  // determinism regressions A/B the two schedulers with this.
+  bool legacy_scan = false;
   // Observability (see obs/instrument.hpp). When set, the harness attaches
   // the built-in probes that apply to the assembly being run — clock skew
   // vs eps, channel latency vs [d1, d2], Simulation-1 buffer occupancy and

@@ -46,6 +46,16 @@ ActionRole QueueServer::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool QueueServer::declare_signature(SignatureDecl& decl) const {
+  decl.input("ENQ", node_);
+  decl.input("DEQ", node_);
+  decl.input("TODELIVER", node_);
+  decl.output("ENQACK", node_);
+  decl.output("DEQRET", node_);
+  decl.output("TOBCAST", node_);
+  return true;
+}
+
 void QueueServer::apply_input(const Action& a, Time /*now*/) {
   if (a.name == "ENQ") {
     PSC_CHECK(outstanding_ == OpKind::kNone, "alternation violated");
@@ -150,6 +160,14 @@ ActionRole QueueClient::classify(const Action& a) const {
   if (a.name == "ENQACK" || a.name == "DEQRET") return ActionRole::kInput;
   if (a.name == "ENQ" || a.name == "DEQ") return ActionRole::kOutput;
   return ActionRole::kNotMine;
+}
+
+bool QueueClient::declare_signature(SignatureDecl& decl) const {
+  decl.input("ENQACK", options_.node);
+  decl.input("DEQRET", options_.node);
+  decl.output("ENQ", options_.node);
+  decl.output("DEQ", options_.node);
+  return true;
 }
 
 void QueueClient::apply_input(const Action& a, Time t) {
@@ -353,7 +371,7 @@ QueueRunResult collect(Executor& exec,
 }  // namespace
 
 QueueRunResult run_queue_timed(const QueueRunConfig& cfg) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   auto clients = add_queue_clients(exec, cfg);
   ChannelConfig cc;
   cc.d1 = cfg.d1;
@@ -369,7 +387,7 @@ QueueRunResult run_queue_timed(const QueueRunConfig& cfg) {
 
 QueueRunResult run_queue_clock(const QueueRunConfig& cfg,
                                const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
   auto clients = add_queue_clients(exec, cfg);
   std::vector<std::shared_ptr<const ClockTrajectory>> trajs;
   Rng seeder(cfg.seed ^ 0xc1c1c1c1ULL);

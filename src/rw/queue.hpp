@@ -58,6 +58,7 @@ class QueueServer final : public Machine {
   QueueServer(int node, int num_nodes);
 
   ActionRole classify(const Action& a) const override;
+  bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time now) override;
   std::vector<Action> enabled(Time now) const override;
   void apply_local(const Action& a, Time now) override;
@@ -104,6 +105,7 @@ class QueueClient final : public Machine {
   bool finished() const { return issued_ == options_.num_ops && !busy_; }
 
   ActionRole classify(const Action& a) const override;
+  bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time t) override;
   std::vector<Action> enabled(Time t) const override;
   void apply_local(const Action& a, Time t) override;
@@ -139,6 +141,8 @@ struct QueueRunConfig {
   Duration think_max = milliseconds(1);
   std::uint64_t seed = 1;
   Time horizon = seconds(30);
+  // Run on the executor's legacy polling loop, as in RwRunConfig.
+  bool legacy_scan = false;
   // Observability hookup, as in RwRunConfig (see obs/instrument.hpp).
   const ObsOptions* obs = nullptr;
 };

@@ -1,0 +1,306 @@
+// Regression suite for the executor's calendar/dirty-set scheduler: the
+// rewritten inner loop must be observationally identical to the legacy
+// polling loop — byte-identical TimedTraces and probe sequences for the
+// same seed — and the interned routing must preserve the composition
+// compatibility errors and hide() edge cases of the classify() path.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/flood.hpp"
+#include "core/trace_io.hpp"
+#include "obs/probe.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/system.hpp"
+#include "rw/harness.hpp"
+#include "rw/queue.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+namespace {
+
+// Message uids come from a process-global counter; normalize them away so
+// traces from separate runs are comparable byte-for-byte.
+std::string normalized(const TimedTrace& events) {
+  TimedTrace copy = events;
+  std::map<std::uint64_t, std::uint64_t> remap;
+  for (auto& e : copy) {
+    if (!e.action.msg) continue;
+    auto [it, fresh] = remap.emplace(e.action.msg->uid, remap.size() + 1);
+    (void)fresh;
+    e.action.msg->uid = it->second;
+  }
+  return trace_to_text(copy);
+}
+
+// Serializes the full probe callback sequence (events, time advances, run
+// begin/end) so the two schedulers' observability contract can be compared.
+class RecordingProbe final : public Probe {
+ public:
+  void on_run_begin(Time now) override { log_ << "begin " << now << "\n"; }
+  void on_event(const TimedEvent& e, const Machine& owner) override {
+    // Remap process-global message uids (as normalized() does for traces).
+    TimedEvent copy = e;
+    if (copy.action.msg) {
+      auto [it, fresh] =
+          remap_.emplace(copy.action.msg->uid, remap_.size() + 1);
+      (void)fresh;
+      copy.action.msg->uid = it->second;
+    }
+    log_ << "event " << to_string(copy.action) << " t=" << copy.time
+         << " owner=" << owner.name() << " vis=" << copy.visible << "\n";
+  }
+  void on_time_advance(Time from, Time to) override {
+    log_ << "advance " << from << " -> " << to << "\n";
+  }
+  void on_run_end(Time now) override { log_ << "end " << now << "\n"; }
+
+  std::string text() const { return log_.str(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> remap_;
+  std::ostringstream log_;
+};
+
+TimedTrace run_flood(const Graph& g, std::uint64_t seed, bool legacy,
+                     Probe* probe, std::size_t* steps = nullptr) {
+  Executor exec({.horizon = seconds(10),
+                 .seed = seed,
+                 .legacy_scan = legacy,
+                 .probes = probe ? std::vector<Probe*>{probe}
+                                 : std::vector<Probe*>{}});
+  ChannelConfig cc;
+  cc.d1 = microseconds(50);
+  cc.d2 = microseconds(200);
+  cc.seed = seed;
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, /*source=*/0, 0xf100d,
+                                    /*hops_bound=*/g.n, cc.d2, 1));
+  const auto report = exec.run();
+  if (steps != nullptr) *steps = report.steps;
+  return exec.events();
+}
+
+TEST(SchedulerEquivalence, FloodRingTracesMatchLegacy) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 2024u}) {
+    std::size_t steps_new = 0, steps_old = 0;
+    const auto a = run_flood(Graph::ring(8), seed, false, nullptr, &steps_new);
+    const auto b = run_flood(Graph::ring(8), seed, true, nullptr, &steps_old);
+    EXPECT_EQ(steps_new, steps_old) << "seed " << seed;
+    EXPECT_EQ(normalized(a), normalized(b)) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerEquivalence, FloodCompleteGraphTracesMatchLegacy) {
+  const auto a = run_flood(Graph::complete(6), 42, false, nullptr);
+  const auto b = run_flood(Graph::complete(6), 42, true, nullptr);
+  EXPECT_EQ(normalized(a), normalized(b));
+}
+
+TEST(SchedulerEquivalence, ProbeSequencesMatchLegacy) {
+  RecordingProbe fast;
+  RecordingProbe slow;
+  run_flood(Graph::ring(6), 42, false, &fast);
+  run_flood(Graph::ring(6), 42, true, &slow);
+  EXPECT_FALSE(fast.text().empty());
+  EXPECT_EQ(fast.text(), slow.text());
+}
+
+RwRunConfig rw_cfg(std::uint64_t seed, bool legacy) {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(250);
+  cfg.eps = microseconds(40);
+  cfg.c = microseconds(30);
+  cfg.ops_per_node = 10;
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(5);
+  cfg.seed = seed;
+  cfg.legacy_scan = legacy;
+  return cfg;
+}
+
+TEST(SchedulerEquivalence, RwTimedTracesMatchLegacy) {
+  const auto a = run_rw_timed(rw_cfg(42, false));
+  const auto b = run_rw_timed(rw_cfg(42, true));
+  EXPECT_EQ(normalized(a.events), normalized(b.events));
+}
+
+TEST(SchedulerEquivalence, RwClockTracesMatchLegacy) {
+  ZigzagDrift d1(0.3), d2(0.3);
+  const auto a = run_rw_clock(rw_cfg(42, false), d1);
+  const auto b = run_rw_clock(rw_cfg(42, true), d2);
+  EXPECT_EQ(normalized(a.events), normalized(b.events));
+}
+
+TEST(SchedulerEquivalence, RwMmtTracesMatchLegacy) {
+  PerfectDrift drift;
+  const auto a = run_rw_mmt(rw_cfg(42, false), drift, microseconds(10), 5);
+  const auto b = run_rw_mmt(rw_cfg(42, true), drift, microseconds(10), 5);
+  EXPECT_EQ(normalized(a.events), normalized(b.events));
+}
+
+TEST(SchedulerEquivalence, QueueClockTracesMatchLegacy) {
+  QueueRunConfig qc;
+  qc.num_nodes = 3;
+  qc.d1 = microseconds(20);
+  qc.d2 = microseconds(250);
+  qc.eps = microseconds(40);
+  qc.ops_per_node = 8;
+  qc.think_max = microseconds(300);
+  qc.horizon = seconds(5);
+  qc.seed = 7;
+  ZigzagDrift d1(0.3), d2(0.3);
+  qc.legacy_scan = false;
+  const auto a = run_queue_clock(qc, d1);
+  qc.legacy_scan = true;
+  const auto b = run_queue_clock(qc, d2);
+  EXPECT_EQ(normalized(a.events), normalized(b.events));
+}
+
+// --- composition-compatibility and hide() edge cases ----------------------
+
+// A declared machine that emits one "X" output at node 0 and stops.
+class DeclaredEmitter final : public Machine {
+ public:
+  explicit DeclaredEmitter(std::string name) : Machine(std::move(name)) {}
+  ActionRole classify(const Action& a) const override {
+    return a.name == "X" && a.node == 0 ? ActionRole::kOutput
+                                        : ActionRole::kNotMine;
+  }
+  bool declare_signature(SignatureDecl& decl) const override {
+    decl.output("X", 0);
+    return true;
+  }
+  void apply_input(const Action&, Time) override {}
+  std::vector<Action> enabled(Time) const override {
+    if (done_) return {};
+    return {make_action("X", 0)};
+  }
+  void apply_local(const Action&, Time) override { done_ = true; }
+
+ private:
+  bool done_ = false;
+};
+
+// Same machine without a signature declaration (classify() fallback path).
+class GenericEmitter final : public Machine {
+ public:
+  explicit GenericEmitter(std::string name) : Machine(std::move(name)) {}
+  ActionRole classify(const Action& a) const override {
+    return a.name == "X" && a.node == 0 ? ActionRole::kOutput
+                                        : ActionRole::kNotMine;
+  }
+  void apply_input(const Action&, Time) override {}
+  std::vector<Action> enabled(Time) const override {
+    if (done_) return {};
+    return {make_action("X", 0)};
+  }
+  void apply_local(const Action&, Time) override { done_ = true; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(SchedulerRouting, TwoDeclaredClaimantsTripIncompatibleComposition) {
+  Executor exec({.horizon = seconds(1)});
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  exec.add_owned(std::make_unique<DeclaredEmitter>("b"));
+  EXPECT_THROW(exec.run(), CheckError);
+}
+
+TEST(SchedulerRouting, DeclaredAndGenericClaimantsTripIncompatibleComposition) {
+  Executor exec({.horizon = seconds(1)});
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  exec.add_owned(std::make_unique<GenericEmitter>("b"));
+  EXPECT_THROW(exec.run(), CheckError);
+}
+
+TEST(SchedulerRouting, HideOfNeverDeclaredActionIsNoOp) {
+  Executor exec({.horizon = seconds(1)});
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  exec.hide("NEVER_EMITTED");
+  const auto report = exec.run();
+  EXPECT_EQ(report.steps, 1u);
+  ASSERT_EQ(exec.trace().size(), 1u);
+  EXPECT_EQ(exec.trace()[0].action.name, "X");
+}
+
+TEST(SchedulerRouting, HideAfterAddStillAppliesToInternedKinds) {
+  Executor exec({.horizon = seconds(1)});
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  exec.hide("X");  // assemblies hide after add(); must reclassify
+  exec.run();
+  EXPECT_EQ(exec.events().size(), 1u);
+  EXPECT_TRUE(exec.trace().empty());  // hidden => invisible
+}
+
+// --- event-cap semantics (ExecutorReport::hit_event_cap) ------------------
+
+class Spinner final : public Machine {
+ public:
+  Spinner() : Machine("spinner") {}
+  ActionRole classify(const Action& a) const override {
+    return a.name == "SPIN" ? ActionRole::kInternal : ActionRole::kNotMine;
+  }
+  void apply_input(const Action&, Time) override {}
+  std::vector<Action> enabled(Time) const override {
+    return {make_action("SPIN", kNoNode)};
+  }
+  void apply_local(const Action&, Time) override {}
+};
+
+TEST(SchedulerCap, CapWithStopConditionReportsInsteadOfThrowing) {
+  for (bool legacy : {false, true}) {
+    Executor exec({.horizon = seconds(1),
+                   .max_events = 100,
+                   .legacy_scan = legacy});
+    exec.add_owned(std::make_unique<Spinner>());
+    exec.stop_when([] { return false; });  // never fires; cap wins the race
+    const auto report = exec.run();
+    EXPECT_TRUE(report.hit_event_cap);
+    EXPECT_EQ(report.steps, 100u);
+    EXPECT_FALSE(report.quiesced);
+  }
+}
+
+TEST(SchedulerCap, CapWithoutStopConditionStillThrows) {
+  for (bool legacy : {false, true}) {
+    Executor exec({.horizon = seconds(1),
+                   .max_events = 100,
+                   .legacy_scan = legacy});
+    exec.add_owned(std::make_unique<Spinner>());
+    EXPECT_THROW(exec.run(), CheckError);
+  }
+}
+
+TEST(SchedulerCap, NormalRunDoesNotReportCap) {
+  Executor exec({.horizon = seconds(1)});
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  const auto report = exec.run();
+  EXPECT_FALSE(report.hit_event_cap);
+  EXPECT_TRUE(report.quiesced);
+}
+
+// --- probes stored once (options vs attach_probe) -------------------------
+
+TEST(SchedulerProbes, OptionsAndAttachLandInOneList) {
+  RecordingProbe from_options;
+  RecordingProbe attached;
+  Executor exec({.horizon = seconds(1),
+                 .probes = {&from_options}});
+  exec.attach_probe(&attached);
+  exec.add_owned(std::make_unique<DeclaredEmitter>("a"));
+  exec.run();
+  // Both probes observe the identical sequence: one event, one run.
+  EXPECT_EQ(from_options.text(), attached.text());
+  EXPECT_NE(from_options.text().find("event X"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psc
