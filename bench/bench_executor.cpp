@@ -81,6 +81,8 @@ struct Arm {
   double ns_per_event = 0;
   std::size_t events = 0;
   std::size_t machines = 0;
+  ExecutorStats stats;  // from the last repeat (identical across repeats —
+                        // fixed seed, deterministic scheduler)
 };
 
 // Median-of-`repeats` ns/event over fresh builds; only run() is timed.
@@ -96,6 +98,7 @@ Arm measure(const std::string& workload, int n, bool legacy, int repeats) {
     const auto t1 = std::chrono::steady_clock::now();
     PSC_CHECK(report.steps > 0, workload << " n=" << n << " ran no events");
     arm.events = report.steps;
+    arm.stats = report.stats;
     const double ns =
         std::chrono::duration<double, std::nano>(t1 - t0).count();
     samples.push_back(ns / static_cast<double>(report.steps));
@@ -113,6 +116,11 @@ struct Row {
   double legacy_ns = 0;
   double sched_ns = 0;
   double speedup = 0;
+  // Scheduler self-metrics of the incremental arm (ExecutorStats): how
+  // much of the speedup comes from cache hits vs interned routing.
+  double fast_path_rate = 0;
+  double cache_hit_rate = 0;
+  std::uint64_t wake_stale_pops = 0;
 };
 
 Row run_config(const std::string& workload, int n, int repeats) {
@@ -129,9 +137,13 @@ Row run_config(const std::string& workload, int n, int repeats) {
   row.legacy_ns = legacy.ns_per_event;
   row.sched_ns = sched.ns_per_event;
   row.speedup = legacy.ns_per_event / sched.ns_per_event;
-  std::printf("  %-6s %5d %9zu %8zu %14.1f %14.1f %9.2fx\n",
+  row.fast_path_rate = sched.stats.fast_path_rate();
+  row.cache_hit_rate = sched.stats.cache_hit_rate();
+  row.wake_stale_pops = sched.stats.wake_stale_pops;
+  std::printf("  %-6s %5d %9zu %8zu %14.1f %14.1f %9.2fx %6.3f %6.3f\n",
               workload.c_str(), n, row.machines, row.events, row.legacy_ns,
-              row.sched_ns, row.speedup);
+              row.sched_ns, row.speedup, row.fast_path_rate,
+              row.cache_hit_rate);
   return row;
 }
 
@@ -143,7 +155,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
        << "\",\"nodes\":" << r.nodes << ",\"machines\":" << r.machines
        << ",\"events\":" << r.events << ",\"legacy_ns_per_event\":"
        << r.legacy_ns << ",\"sched_ns_per_event\":" << r.sched_ns
-       << ",\"speedup\":" << r.speedup << ",\"seed\":" << kSeed << "}\n";
+       << ",\"speedup\":" << r.speedup << ",\"fast_path_rate\":"
+       << r.fast_path_rate << ",\"cache_hit_rate\":" << r.cache_hit_rate
+       << ",\"wake_stale_pops\":" << r.wake_stale_pops << ",\"seed\":"
+       << kSeed << "}\n";
   }
   note("\nresults written to " + path);
 }
@@ -175,8 +190,9 @@ int main(int argc, char** argv) {
   banner("executor scheduler: calendar/dirty-set loop vs legacy polling");
   note("median-of-" + std::to_string(repeats) +
        " ns/event, fixed seed, run() only (assembly excluded)");
-  std::printf("  %-6s %5s %9s %8s %14s %14s %9s\n", "work", "n", "machines",
-              "events", "legacy ns/ev", "sched ns/ev", "speedup");
+  std::printf("  %-6s %5s %9s %8s %14s %14s %9s %6s %6s\n", "work", "n",
+              "machines", "events", "legacy ns/ev", "sched ns/ev", "speedup",
+              "fast", "cache");
 
   std::vector<int> flood_nodes =
       smoke ? std::vector<int>{4, 8}

@@ -12,7 +12,12 @@
 //                                   shared registry and dump it at finish();
 //   PSC_CHROME_TRACE=trace.json     to capture the *first* instrumented run
 //                                   as a Chrome/Perfetto trace (one run per
-//                                   document — later runs get metrics only).
+//                                   document — later runs get metrics only);
+//   PSC_CAUSAL_TRACE=dag.jsonl      to build the happens-before DAG of the
+//                                   *first* instrumented run (one DAG per
+//                                   run for the same reason) and dump it at
+//                                   finish(); combined with PSC_CHROME_TRACE
+//                                   the trace gains message flow arrows.
 // Benches opt in per run by passing obs_options() into the harness config.
 #pragma once
 
@@ -57,31 +62,45 @@ inline std::ofstream& chrome_stream() {
   return os;
 }
 
+inline CausalTraceProbe& causal_probe() {
+  static CausalTraceProbe probe;
+  return probe;
+}
+
 }  // namespace detail
 
 // Observability options for one harness run, driven by the environment
-// (PSC_METRICS_OUT / PSC_CHROME_TRACE). Returns nullptr when neither is
-// set, so `cfg.obs = bench::obs_options()` is always safe. The chrome
-// stream is claimed by the first caller only — a trace document describes a
-// single run.
+// (PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE). Returns nullptr
+// when none is set, so `cfg.obs = bench::obs_options()` is always safe. The
+// chrome stream and the causal probe are claimed by the first instrumented
+// run only — a trace document/DAG describes a single run; later runs get
+// metrics only.
 inline const ObsOptions* obs_options() {
-  static bool chrome_claimed = false;
-  static ObsOptions with_chrome, metrics_only;
+  static bool first_claimed = false;
+  static ObsOptions first_run, metrics_only;
   const char* metrics_path = std::getenv("PSC_METRICS_OUT");
   const char* chrome_path = std::getenv("PSC_CHROME_TRACE");
-  if (metrics_path == nullptr && chrome_path == nullptr) return nullptr;
+  const char* causal_path = std::getenv("PSC_CAUSAL_TRACE");
+  if (metrics_path == nullptr && chrome_path == nullptr &&
+      causal_path == nullptr) {
+    return nullptr;
+  }
   if (metrics_path != nullptr) {
-    with_chrome.registry = &metrics();
+    first_run.registry = &metrics();
     metrics_only.registry = &metrics();
   }
-  if (chrome_path != nullptr && !chrome_claimed) {
-    chrome_claimed = true;
-    detail::chrome_stream().open(chrome_path);
-    if (detail::chrome_stream()) {
-      with_chrome.chrome_out = &detail::chrome_stream();
-      return &with_chrome;
+  if (!first_claimed) {
+    first_claimed = true;
+    if (chrome_path != nullptr) {
+      detail::chrome_stream().open(chrome_path);
+      if (detail::chrome_stream()) {
+        first_run.chrome_out = &detail::chrome_stream();
+      } else {
+        std::cerr << "cannot open " << chrome_path << "\n";
+      }
     }
-    std::cerr << "cannot open " << chrome_path << "\n";
+    if (causal_path != nullptr) first_run.causal = &detail::causal_probe();
+    return first_run.enabled() ? &first_run : nullptr;
   }
   return metrics_only.registry != nullptr ? &metrics_only : nullptr;
 }
@@ -96,6 +115,16 @@ inline int finish() {
     metrics().write_jsonl(os);
     std::cout << "\nmetrics (" << metrics().size() << " series) written to "
               << path << "\n";
+  }
+  if (const char* path = std::getenv("PSC_CAUSAL_TRACE")) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    detail::causal_probe().dag().write_jsonl(os);
+    std::cout << "causal DAG (" << detail::causal_probe().dag().size()
+              << " spans) written to " << path << "\n";
   }
   if (g_failures > 0) {
     std::cout << "\n" << g_failures << " shape check(s) FAILED\n";

@@ -5,6 +5,13 @@
 # committed baselines.
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
+#
+# Observability pass-through (see bench/common.hpp, docs/OBSERVABILITY.md):
+#   PSC_METRICS_OUT=metrics.jsonl   aggregate probe metrics across the sweep
+#   PSC_CHROME_TRACE=trace.json     Chrome/Perfetto trace of the first run
+#   PSC_CAUSAL_TRACE=dag.jsonl      happens-before DAG of the first run
+# The variables are forwarded to the bench binaries untouched; unset means
+# zero instrumentation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +22,7 @@ cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 cmake --build "$BUILD_DIR" -j --target bench_executor
 
+# PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE reach the binary
+# through the environment as-is (empty/unset = off).
 "$BUILD_DIR"/bench/bench_executor --repeats "$REPEATS" \
   --json BENCH_executor.json

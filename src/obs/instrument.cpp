@@ -44,7 +44,11 @@ ChannelLatencyProbe* RunObserver::add_channel_latency(Duration d1,
                                                       Duration d2) {
   MetricsRegistry* reg = sink();
   if (reg == nullptr) return nullptr;
-  auto p = std::make_unique<ChannelLatencyProbe>(*reg, d1, d2);
+  // With a causal probe in play its MessageIndex is the single matching
+  // index; attach() wires the causal probe first so it is fed in time.
+  const MessageIndex* shared =
+      opts_.causal != nullptr ? &opts_.causal->index() : nullptr;
+  auto p = std::make_unique<ChannelLatencyProbe>(*reg, d1, d2, shared);
   ChannelLatencyProbe* out = p.get();
   probes_.push_back(std::move(p));
   return out;
@@ -76,6 +80,16 @@ Probe* RunObserver::add(std::unique_ptr<Probe> probe) {
 
 void RunObserver::attach(Executor& exec) {
   if (chrome_probe_) exec.attach_probe(chrome_probe_.get());
+  if (opts_.causal != nullptr) {
+    opts_.causal->set_trace(chrome());
+    exec.attach_probe(opts_.causal);
+  }
+  if (opts_.exec_stats) {
+    MetricsRegistry* reg = sink();
+    if (reg != nullptr) {
+      probes_.push_back(std::make_unique<SchedulerStatsProbe>(*reg, exec));
+    }
+  }
   for (const auto& p : probes_) exec.attach_probe(p.get());
 }
 

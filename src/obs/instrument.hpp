@@ -38,8 +38,19 @@ struct ObsOptions {
   // When false, the chrome trace carries only counter tracks (no per-event
   // instants) — useful for long runs where the event stream would dominate.
   bool events_in_trace = true;
+  // Caller-owned causal-tracing probe (obs/causal.hpp). attach() wires it
+  // before the metric probes (so ChannelLatencyProbe can read its
+  // MessageIndex) and hands it the shared chrome writer for flow events.
+  // The caller keeps it to query the DAG after the run.
+  CausalTraceProbe* causal = nullptr;
+  // Snapshot the executor's scheduler self-metrics (ExecutorStats) into the
+  // registry at run end. Off by default so runs that pin exact registry
+  // contents are unaffected.
+  bool exec_stats = false;
 
-  bool enabled() const { return registry != nullptr || chrome_out != nullptr; }
+  bool enabled() const {
+    return registry != nullptr || chrome_out != nullptr || causal != nullptr;
+  }
 };
 
 class RunObserver {
@@ -66,8 +77,10 @@ class RunObserver {
   // Any custom probe (takes ownership).
   Probe* add(std::unique_ptr<Probe> probe);
 
-  // Attaches every constructed probe to the executor, event-trace probe
-  // first so metric probes may stream counters into an open document.
+  // Attaches every probe to the executor: event-trace probe first (so
+  // later probes may stream into an open document), then the caller's
+  // causal probe (so probes sharing its MessageIndex read a fed index),
+  // then the constructed metric probes.
   void attach(Executor& exec);
 
  private:

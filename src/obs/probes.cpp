@@ -8,6 +8,7 @@
 #include "core/action.hpp"
 #include "mmt/mmt_node.hpp"
 #include "obs/trace_export.hpp"
+#include "runtime/executor.hpp"
 #include "transform/buffers.hpp"
 
 namespace psc {
@@ -71,8 +72,9 @@ void ClockSkewProbe::on_event(const TimedEvent& e, const Machine& /*owner*/) {
 // --- ChannelLatencyProbe ---------------------------------------------------
 
 ChannelLatencyProbe::ChannelLatencyProbe(MetricsRegistry& reg, Duration d1,
-                                         Duration d2)
-    : d1_(d1), d2_(d2) {
+                                         Duration d2,
+                                         const MessageIndex* shared)
+    : d1_(d1), d2_(d2), index_(shared != nullptr ? shared : &own_) {
   const double lo = static_cast<double>(d1);
   const double hi = static_cast<double>(std::max(d2, d1 + 1));
   latency_ = &reg.histogram("channel.latency_ns",
@@ -86,24 +88,21 @@ ChannelLatencyProbe::ChannelLatencyProbe(MetricsRegistry& reg, Duration d1,
 void ChannelLatencyProbe::on_event(const TimedEvent& e,
                                    const Machine& owner) {
   if (!e.action.msg.has_value()) return;
-  const std::string& n = e.action.name;
-  const bool is_send = n == "SENDMSG" || n == "ESENDMSG";
-  const bool is_recv = n == "RECVMSG" || n == "ERECVMSG";
-  if (is_send) {
-    // First send wins: in the clock model the same uid appears as SENDMSG
-    // (algorithm -> send buffer) and ESENDMSG (send buffer -> channel) at
-    // the same real time, because the send buffer forwards urgently.
-    sent_.emplace(e.action.msg->uid, e.time);
-    return;
-  }
-  if (!is_recv) return;
+  // Feed the private index when no shared one was given (a shared index is
+  // fed by its owner, attached before us — feeding it twice would be a bug,
+  // and const-ness enforces that we cannot).
+  if (index_ == &own_) own_.observe(e, kNoSpan);
   // Only the channel's own delivery is bound by [d1, d2]; the composite's
   // internal RECVMSG (receive buffer -> algorithm) may be held longer.
+  const MessageIndex::Stage stage = MessageIndex::stage_of(e.action.name);
+  if (stage != MessageIndex::Stage::kERecv &&
+      stage != MessageIndex::Stage::kRecv) {
+    return;
+  }
   if (dynamic_cast<const Channel*>(&owner) == nullptr) return;
-  const auto it = sent_.find(e.action.msg->uid);
-  if (it == sent_.end()) return;
-  const Duration latency = e.time - it->second;
-  sent_.erase(it);
+  const MessageIndex::Record* rec = index_->find(e.action.msg->uid);
+  if (rec == nullptr || rec->send_time < 0) return;
+  const Duration latency = e.time - rec->send_time;
   latency_->add(static_cast<double>(latency));
   delivered_->add();
   if (latency < d1_ || latency > d2_) violations_->add();
@@ -218,6 +217,37 @@ void MmtProbe::on_run_end(Time /*now*/) {
   reg_.gauge("mmt.max_pending").set(static_cast<double>(max_pending));
   reg_.gauge("mmt.max_emit_delay_ns")
       .set(static_cast<double>(max_emit_delay));
+}
+
+// --- SchedulerStatsProbe ---------------------------------------------------
+
+SchedulerStatsProbe::SchedulerStatsProbe(MetricsRegistry& reg,
+                                         const Executor& exec)
+    : reg_(reg), exec_(exec) {}
+
+void SchedulerStatsProbe::on_run_end(Time /*now*/) {
+  const ExecutorStats& s = exec_.stats();
+  reg_.counter("exec.events").add(s.events);
+  reg_.counter("exec.time_advances").add(s.time_advances);
+  reg_.counter("exec.wake.pushes").add(s.wake_pushes);
+  reg_.counter("exec.wake.pops").add(s.wake_pops);
+  reg_.counter("exec.wake.stale_pops").add(s.wake_stale_pops);
+  reg_.counter("exec.wake.compactions").add(s.wake_compactions);
+  reg_.counter("exec.dirty.flushes").add(s.dirty_flushes);
+  reg_.counter("exec.dirty.repolls").add(s.dirty_repolls);
+  reg_.gauge("exec.dirty.peak").set(static_cast<double>(s.dirty_peak));
+  reg_.counter("exec.cand.cache_hits").add(s.cand_cache_hits);
+  reg_.gauge("exec.cand.cache_hit_rate").set(s.cache_hit_rate());
+  reg_.counter("exec.route.fast").add(s.route_fast);
+  reg_.counter("exec.route.classify").add(s.route_classify);
+  reg_.gauge("exec.route.fast_path_rate").set(s.fast_path_rate());
+  reg_.counter("exec.route.fanout_inputs").add(s.fanout_inputs);
+  reg_.counter("exec.route.fanout_classify_calls")
+      .add(s.fanout_classify_calls);
+  reg_.counter("exec.kind.hits").add(s.kind_hits);
+  reg_.counter("exec.kind.resolves").add(s.kind_resolves);
+  reg_.gauge("exec.kind.interned").set(
+      static_cast<double>(exec_.interned_kind_count()));
 }
 
 }  // namespace psc

@@ -6,14 +6,21 @@
 //                       automaton's delivery window (Figure 1). Sends and
 //                       deliveries are matched exactly by message uid
 //                       (Section 3's uniqueness assumption, made load-
-//                       bearing); only deliveries performed by a Channel
-//                       machine are validated, so the probe is correct in
-//                       the timed, clock, and MMT assemblies alike.
+//                       bearing) through a MessageIndex (obs/causal.hpp) —
+//                       either a shared one fed by a CausalTraceProbe or a
+//                       private one the probe feeds itself; only deliveries
+//                       performed by a Channel machine are validated, so
+//                       the probe is correct in the timed, clock, and MMT
+//                       assemblies alike.
 //   Sim1BufferProbe     Simulation 1's cost: receive/send-buffer occupancy
 //                       over time plus per-message hold time (ERECVMSG ->
 //                       RECVMSG), the quantity Section 7.2 argues is small.
 //   MmtProbe            tick-to-action latency and per-node step/queue
 //                       stats of the MMT transformation (Definition 5.1).
+//   SchedulerStatsProbe end-of-run snapshot of the executor's ExecutorStats
+//                       self-metrics (wake calendar, dirty set, routing)
+//                       into the registry, so scheduler behaviour lands in
+//                       the same metrics document as the model quantities.
 //
 // Every probe writes into a MetricsRegistry; probes given a
 // ChromeTraceWriter additionally stream counter tracks into the trace so
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "clock/trajectory.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 
@@ -34,6 +42,7 @@ class ReceiveBuffer;
 class SendBuffer;
 class MmtNode;
 class ChromeTraceWriter;
+class Executor;
 
 class ClockSkewProbe final : public Probe {
  public:
@@ -67,7 +76,12 @@ class ChannelLatencyProbe final : public Probe {
  public:
   // [d1, d2] are the *physical* bounds of the channels in the composition
   // (what Channel was constructed with), not the algorithm's design bounds.
-  ChannelLatencyProbe(MetricsRegistry& reg, Duration d1, Duration d2);
+  // With `shared` set the probe reads send times from an index fed by
+  // someone attached earlier in the probe list (the CausalTraceProbe);
+  // otherwise it owns and feeds a private one. Either way the uid-matching
+  // logic lives in MessageIndex — there is exactly one implementation.
+  ChannelLatencyProbe(MetricsRegistry& reg, Duration d1, Duration d2,
+                      const MessageIndex* shared = nullptr);
 
   void on_event(const TimedEvent& e, const Machine& owner) override;
 
@@ -76,7 +90,8 @@ class ChannelLatencyProbe final : public Probe {
 
  private:
   Duration d1_, d2_;
-  std::unordered_map<std::uint64_t, Time> sent_;  // uid -> send time
+  const MessageIndex* index_;  // shared or &own_
+  MessageIndex own_;           // fed only when no shared index was given
   Histogram* latency_;
   Counter* delivered_;
   Counter* violations_;
@@ -128,6 +143,19 @@ class MmtProbe final : public Probe {
   std::unordered_map<int, Time> last_tick_;  // node -> last TICK time
   Histogram* tick_to_action_;
   Counter* ticks_;
+};
+
+class SchedulerStatsProbe final : public Probe {
+ public:
+  // Snapshots `exec.stats()` into the registry at run end. Non-owning; the
+  // executor must outlive the run (it does — it drives it).
+  SchedulerStatsProbe(MetricsRegistry& reg, const Executor& exec);
+
+  void on_run_end(Time now) override;
+
+ private:
+  MetricsRegistry& reg_;
+  const Executor& exec_;
 };
 
 // Default duration-histogram bounds: exponential from 100ns to ~1.7s.

@@ -79,6 +79,38 @@ void ChromeTraceWriter::counter(std::string_view name, std::string_view series,
   os_ << ",\"args\":{\"" << json_escape(series) << "\":" << v << "}}";
 }
 
+namespace {
+
+void put_flow(std::ostream& os, char ph, std::string_view name,
+              std::uint64_t id, Time t, int tid, bool bind_enclosing) {
+  os << "{\"ph\":\"" << ph << "\",\"cat\":\"msg\",\"id\":" << id
+     << ",\"pid\":0,\"tid\":" << tid << ",\"name\":\"" << json_escape(name)
+     << "\",\"ts\":";
+  put_ts(os, t);
+  if (bind_enclosing) os << ",\"bp\":\"e\"";
+  os << "}";
+}
+
+}  // namespace
+
+void ChromeTraceWriter::flow_start(std::string_view name, std::uint64_t id,
+                                   Time t, int tid) {
+  begin_record();
+  put_flow(os_, 's', name, id, t, tid, false);
+}
+
+void ChromeTraceWriter::flow_step(std::string_view name, std::uint64_t id,
+                                  Time t, int tid) {
+  begin_record();
+  put_flow(os_, 't', name, id, t, tid, false);
+}
+
+void ChromeTraceWriter::flow_end(std::string_view name, std::uint64_t id,
+                                 Time t, int tid) {
+  begin_record();
+  put_flow(os_, 'f', name, id, t, tid, true);
+}
+
 std::string chrome_event_args(const TimedEvent& e) {
   std::ostringstream os;
   os << "{\"visible\":" << (e.visible ? "true" : "false");

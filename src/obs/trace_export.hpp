@@ -15,6 +15,7 @@
 // buffered, and close() (or destruction) finalizes the document.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -49,6 +50,15 @@ class ChromeTraceWriter {
   // Counter sample: series `series` of counter `name` has value v at t.
   void counter(std::string_view name, std::string_view series, Time t,
                double v);
+
+  // Flow events (ph s/t/f): arrows between tracks, matched by
+  // (category "msg", name, id). CausalTraceProbe uses the message uid as
+  // the flow id, so each message's send → deliver chain renders as one
+  // arrow sequence in Perfetto. flow_end binds to the enclosing point
+  // ("bp":"e") per the trace_event spec.
+  void flow_start(std::string_view name, std::uint64_t id, Time t, int tid);
+  void flow_step(std::string_view name, std::uint64_t id, Time t, int tid);
+  void flow_end(std::string_view name, std::uint64_t id, Time t, int tid);
 
   // Finalizes the JSON document. Idempotent.
   void close();

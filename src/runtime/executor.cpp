@@ -154,9 +154,11 @@ void Executor::set_nonempty(std::size_t m, bool v) {
 void Executor::push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m) {
   heap.push_back(WakeEntry{t, m, sched_[m].gen});
   std::push_heap(heap.begin(), heap.end(), kWakeLater);
+  ++stats_.wake_pushes;
   // Lazy invalidation lets stale entries pile up; compact once they dominate
   // (each machine has at most one current-generation entry per heap).
   if (heap.size() > 4 * machines_.size() + 64) {
+    ++stats_.wake_compactions;
     std::erase_if(heap, [this](const WakeEntry& e) {
       return e.gen != sched_[e.machine].gen;
     });
@@ -167,9 +169,17 @@ void Executor::push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m) {
 void Executor::pop_wake(std::vector<WakeEntry>& heap) {
   std::pop_heap(heap.begin(), heap.end(), kWakeLater);
   heap.pop_back();
+  ++stats_.wake_pops;
 }
 
 void Executor::flush_dirty() {
+  if (!dirty_.empty()) {
+    ++stats_.dirty_flushes;
+    stats_.dirty_repolls += dirty_.size();
+    stats_.dirty_peak = std::max<std::uint64_t>(stats_.dirty_peak,
+                                                dirty_.size());
+    stats_.cand_cache_hits += machines_.size() - dirty_.size();
+  }
   for (std::size_t i = 0; i < dirty_.size(); ++i) {
     const std::size_t m = dirty_[i];
     in_dirty_[m] = 0;
@@ -232,10 +242,16 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
   Machine* owner = machines_[machine];
   const ActionKindId kid = intern(a);
   KindInfo& k = kinds_[static_cast<std::size_t>(kid)];
-  if (!k.resolved) resolve_kind(kid);
+  if (!k.resolved) {
+    ++stats_.kind_resolves;
+    resolve_kind(kid);
+  } else {
+    ++stats_.kind_hits;
+  }
 
   ActionRole role = ActionRole::kNotMine;
   if (s.declared) {
+    ++stats_.route_fast;
     for (const auto& c : k.claimants) {
       if (c.first == machine) {
         role = c.second;
@@ -247,6 +263,7 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
                          << " not locally controlled by its declared "
                             "signature");
   } else {
+    ++stats_.route_classify;
     role = owner->classify(a);
     PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
               "machine " << owner->name() << " enabled non-local action "
@@ -268,6 +285,7 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
     }
     for (std::size_t m : k.subscribers) {
       if (m == machine) continue;
+      ++stats_.fanout_inputs;
       machines_[m]->apply_input(a, now_);
       mark_dirty(m);
     }
@@ -275,6 +293,7 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
     for (std::size_t m : generic_) {
       if (m == machine) continue;
       Machine* other = machines_[m];
+      ++stats_.fanout_classify_calls;
       const ActionRole r = other->classify(a);
       PSC_CHECK(r != ActionRole::kOutput && r != ActionRole::kInternal,
                 "action " << to_string(a) << " is locally controlled by both "
@@ -291,11 +310,13 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
     record_event(a, machine, role, !k.hidden);
   }
   ++steps_;
+  ++stats_.events;
 }
 
 bool Executor::advance_time_sched() {
   while (!ne_heap_.empty() &&
          ne_heap_.front().gen != sched_[ne_heap_.front().machine].gen) {
+    ++stats_.wake_stale_pops;
     pop_wake(ne_heap_);
   }
   const Time next = ne_heap_.empty() ? kTimeMax : ne_heap_.front().t;
@@ -308,6 +329,7 @@ bool Executor::advance_time_sched() {
   }
   while (!ub_heap_.empty() &&
          ub_heap_.front().gen != sched_[ub_heap_.front().machine].gen) {
+    ++stats_.wake_stale_pops;
     pop_wake(ub_heap_);
   }
   const Time ub = ub_heap_.empty() ? kTimeMax : ub_heap_.front().t;
@@ -320,18 +342,27 @@ bool Executor::advance_time_sched() {
                 << format_time(ub));
   const Time prev = now_;
   now_ = next;
+  ++stats_.time_advances;
   for (Probe* p : probes_) p->on_time_advance(prev, now_);
   // Wake everything whose hint has come due; woken machines are re-polled
   // at the new now before the next pick.
   while (!ne_heap_.empty() && ne_heap_.front().t <= now_) {
     const WakeEntry e = ne_heap_.front();
     pop_wake(ne_heap_);
-    if (e.gen == sched_[e.machine].gen) mark_dirty(e.machine);
+    if (e.gen == sched_[e.machine].gen) {
+      mark_dirty(e.machine);
+    } else {
+      ++stats_.wake_stale_pops;
+    }
   }
   while (!ub_heap_.empty() && ub_heap_.front().t <= now_) {
     const WakeEntry e = ub_heap_.front();
     pop_wake(ub_heap_);
-    if (e.gen == sched_[e.machine].gen) mark_dirty(e.machine);
+    if (e.gen == sched_[e.machine].gen) {
+      mark_dirty(e.machine);
+    } else {
+      ++stats_.wake_stale_pops;
+    }
   }
   return true;
 }
@@ -389,6 +420,7 @@ void Executor::execute(const Candidate& c) {
                  hidden_.find(c.action.name) == hidden_.end());
   }
   ++steps_;
+  ++stats_.events;
 }
 
 bool Executor::advance_time() {
@@ -421,6 +453,7 @@ bool Executor::advance_time() {
                 << format_time(ub));
   const Time prev = now_;
   now_ = next;
+  ++stats_.time_advances;
   for (Probe* p : probes_) p->on_time_advance(prev, now_);
   return true;
 }
@@ -459,6 +492,7 @@ ExecutorReport Executor::run() {
   r.steps = steps_;
   r.quiesced = quiesced_;
   r.hit_event_cap = capped;
+  r.stats = stats_;
   return r;
 }
 

@@ -56,6 +56,50 @@ struct ExecutorOptions {
   std::vector<Probe*> probes = {};
 };
 
+// Self-metrics of the calendar/dirty-set scheduler, maintained as plain
+// counter increments on already-touched cache lines (no branches, no
+// allocation — bench_executor's speedup gate doubles as the overhead
+// regression test). The legacy polling loop fills only `events` and
+// `time_advances`; everything else measures the incremental machinery.
+struct ExecutorStats {
+  std::uint64_t events = 0;         // executed actions
+  std::uint64_t time_advances = 0;  // nu steps
+  // Wake calendar (lazy min-heaps over next_enabled/upper_bound hints).
+  std::uint64_t wake_pushes = 0;
+  std::uint64_t wake_pops = 0;        // popped entries, valid and stale
+  std::uint64_t wake_stale_pops = 0;  // lazily-invalidated entries discarded
+  std::uint64_t wake_compactions = 0;
+  // Dirty set / per-machine candidate cache. A flush re-polls exactly the
+  // dirty machines; every other machine's cached enabled() list is a hit.
+  std::uint64_t dirty_flushes = 0;     // flushes that re-polled >= 1 machine
+  std::uint64_t dirty_repolls = 0;     // machines re-polled (cache misses)
+  std::uint64_t dirty_peak = 0;        // largest single flush
+  std::uint64_t cand_cache_hits = 0;   // machines *not* re-polled at a flush
+  // Interned-action routing.
+  std::uint64_t route_fast = 0;      // events owned by declared machines
+  std::uint64_t route_classify = 0;  // events owned by classify()-fallback ones
+  std::uint64_t fanout_inputs = 0;   // inputs applied via the subscriber index
+  std::uint64_t fanout_classify_calls = 0;  // classify() probes of generic machines
+  std::uint64_t kind_hits = 0;       // executions served by a resolved kind
+  std::uint64_t kind_resolves = 0;   // routing-info cache misses
+
+  // Fraction of per-flush machine visits served from cache (1 = perfectly
+  // incremental, 0 = legacy full re-poll behaviour).
+  double cache_hit_rate() const {
+    const std::uint64_t total = cand_cache_hits + dirty_repolls;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cand_cache_hits) /
+                            static_cast<double>(total);
+  }
+  // Fraction of events routed without any classify() string matching.
+  double fast_path_rate() const {
+    const std::uint64_t total = route_fast + route_classify;
+    return total == 0 ? 0.0
+                      : static_cast<double>(route_fast) /
+                            static_cast<double>(total);
+  }
+};
+
 struct ExecutorReport {
   Time end_time = 0;
   std::size_t steps = 0;
@@ -65,6 +109,8 @@ struct ExecutorReport {
   // never quiesces on its own legitimately runs into the cap when its stop
   // condition and the cap race on the same iteration.
   bool hit_event_cap = false;
+  // Scheduler self-metrics for the run (see ExecutorStats).
+  ExecutorStats stats;
 };
 
 class Executor {
@@ -111,6 +157,8 @@ class Executor {
   std::size_t machine_count() const { return machines_.size(); }
   std::size_t declared_machine_count() const { return declared_count_; }
   std::size_t interned_kind_count() const { return kinds_.size(); }
+  // Scheduler self-metrics so far (also returned in ExecutorReport::stats).
+  const ExecutorStats& stats() const { return stats_; }
 
  private:
   struct Candidate {
@@ -191,6 +239,7 @@ class Executor {
   std::size_t steps_ = 0;
   bool quiesced_ = false;
   TimedTrace events_;
+  ExecutorStats stats_;
 
   // Interning / routing state.
   std::unordered_map<ActionKindKey, ActionKindId, ActionKindHash, ActionKindEq>

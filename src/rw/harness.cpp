@@ -54,6 +54,7 @@ RwRunResult finish(Executor& exec, const std::vector<RwClient*>& clients) {
   result.ops = collect_operations(clients);
   result.events = exec.events();
   result.end_time = report.end_time;
+  result.report = report;
   return result;
 }
 
@@ -72,15 +73,18 @@ ChannelConfig channel_config(const RwRunConfig& cfg) {
   return cc;
 }
 
-// Points a Sim1BufferProbe at the S/R buffers inside one node composite.
-void watch_node_buffers(Sim1BufferProbe* bp, const CompositeMachine& comp) {
-  if (bp == nullptr) return;
+// Points a Sim1BufferProbe (occupancy/hold metrics) and a CausalTraceProbe
+// (kBuffer edge clock-hold annotation via the release hook) at the S/R
+// buffers inside one node composite. Either may be null.
+void watch_node_buffers(Sim1BufferProbe* bp, CausalTraceProbe* cp,
+                        CompositeMachine& comp) {
   for (std::size_t k = 0; k < comp.size(); ++k) {
-    if (const auto* rb = dynamic_cast<const ReceiveBuffer*>(&comp.member(k))) {
-      bp->watch(rb);
+    if (auto* rb = dynamic_cast<ReceiveBuffer*>(&comp.member(k))) {
+      if (bp != nullptr) bp->watch(rb);
+      if (cp != nullptr) cp->watch(rb);
     } else if (const auto* sb =
                    dynamic_cast<const SendBuffer*>(&comp.member(k))) {
-      bp->watch(sb);
+      if (bp != nullptr) bp->watch(sb);
     }
   }
 }
@@ -114,9 +118,12 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
   RunObserver observer(cfg.obs);
   observer.add_clock_skew(trajs, cfg.eps);
   observer.add_channel_latency(cfg.d1, cfg.d2);
-  if (Sim1BufferProbe* bp = observer.add_buffers()) {
+  Sim1BufferProbe* bp = observer.add_buffers();
+  CausalTraceProbe* cp = cfg.obs != nullptr ? cfg.obs->causal : nullptr;
+  if (bp != nullptr || cp != nullptr) {
     for (auto* node : handles.nodes) {
-      watch_node_buffers(bp, dynamic_cast<CompositeMachine&>(node->inner()));
+      watch_node_buffers(bp, cp,
+                         dynamic_cast<CompositeMachine&>(node->inner()));
     }
   }
   observer.attach(exec);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "clock/trajectory.hpp"
+#include "runtime/executor.hpp"
 #include "rw/algorithm.hpp"
 #include "rw/client.hpp"
 #include "rw/spec.hpp"
@@ -63,6 +64,9 @@ struct RwRunResult {
   std::vector<Operation> ops;        // completed client operations
   TimedTrace events;                 // full event log (hidden included)
   Time end_time = 0;
+  // Full executor report (end_time duplicated for convenience); carries
+  // the scheduler's ExecutorStats self-metrics.
+  ExecutorReport report;
   ReceiveBufferStats buffer_totals;  // aggregated over all receive buffers
                                      // (clock-model runs only)
   // Node clock trajectories (clock/MMT-model runs only) — needed by the

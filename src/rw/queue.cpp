@@ -358,8 +358,8 @@ std::vector<QueueClient*> add_queue_clients(Executor& exec,
 
 QueueRunResult collect(Executor& exec,
                        const std::vector<QueueClient*>& clients) {
-  exec.run();
   QueueRunResult result;
+  result.report = exec.run();
   for (const auto* c : clients) {
     const auto& ops = c->operations();
     result.ops.insert(result.ops.end(), ops.begin(), ops.end());
@@ -407,16 +407,18 @@ QueueRunResult run_queue_clock(const QueueRunConfig& cfg,
   RunObserver observer(cfg.obs);
   observer.add_clock_skew(trajs, cfg.eps);
   observer.add_channel_latency(cfg.d1, cfg.d2);
-  if (Sim1BufferProbe* bp = observer.add_buffers()) {
+  Sim1BufferProbe* bp = observer.add_buffers();
+  CausalTraceProbe* cp = cfg.obs != nullptr ? cfg.obs->causal : nullptr;
+  if (bp != nullptr || cp != nullptr) {
     for (auto* node : handles.nodes) {
       auto& comp = dynamic_cast<CompositeMachine&>(node->inner());
       for (std::size_t k = 0; k < comp.size(); ++k) {
-        if (const auto* rb =
-                dynamic_cast<const ReceiveBuffer*>(&comp.member(k))) {
-          bp->watch(rb);
+        if (auto* rb = dynamic_cast<ReceiveBuffer*>(&comp.member(k))) {
+          if (bp != nullptr) bp->watch(rb);
+          if (cp != nullptr) cp->watch(rb);
         } else if (const auto* sb =
                        dynamic_cast<const SendBuffer*>(&comp.member(k))) {
-          bp->watch(sb);
+          if (bp != nullptr) bp->watch(sb);
         }
       }
     }

@@ -23,6 +23,7 @@
 #include "clock/trajectory.hpp"
 #include "core/machine.hpp"
 #include "core/trace.hpp"
+#include "runtime/executor.hpp"
 #include "util/rng.hpp"
 
 namespace psc {
@@ -127,6 +128,8 @@ class QueueClient final : public Machine {
 struct QueueRunResult {
   std::vector<QueueOp> ops;
   TimedTrace events;
+  // Full executor report, including scheduler self-metrics.
+  ExecutorReport report;
 };
 
 struct QueueRunConfig {

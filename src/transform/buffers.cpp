@@ -111,6 +111,7 @@ void ReceiveBuffer::apply_local(const Action& a, Time clock) {
   const Duration held = clock - q_[k].arrived_clock;
   stats_.max_hold = std::max(stats_.max_hold, held);
   stats_.total_hold += held;
+  if (release_hook_) release_hook_(q_[k].msg, q_[k].arrived_clock, clock);
   q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(k));
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/machine.hpp"
@@ -72,6 +73,17 @@ class ReceiveBuffer final : public Machine {
   std::size_t queued() const { return q_.size(); }
   const ReceiveBufferStats& stats() const { return stats_; }
 
+  // Observability hook, fired on every RECVMSG release with the held
+  // message (clock_tag still attached), the local clock at its ERECVMSG
+  // arrival, and the local clock at release. The event stream alone cannot
+  // tell a message that waited for its tag (eps at work) from one released
+  // immediately; the hook can (tag > arrived_clock). Null by default —
+  // unobserved buffers pay one branch per release.
+  using ReleaseHook =
+      std::function<void(const Message& msg, Time arrived_clock,
+                         Time released_clock)>;
+  void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+
  private:
   struct Held {
     Message msg;        // still carries its clock_tag
@@ -84,6 +96,7 @@ class ReceiveBuffer final : public Machine {
   int j_, i_;
   std::vector<Held> q_;
   ReceiveBufferStats stats_;
+  ReleaseHook release_hook_;
 };
 
 }  // namespace psc

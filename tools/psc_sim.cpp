@@ -12,6 +12,7 @@
 //   rw-sliced    the [10] baseline reconstruction
 //   rw-mmt       the full Theorem 5.2 pipeline
 //   queue        the replicated FIFO queue (total-order broadcast)
+//   flood        flooding broadcast on a ring (time-based termination)
 //
 // Keys (defaults in brackets): nodes[3] ops[20] d1_us[20] d2_us[300]
 // eps_us[50] c_us[40] ell_us[10] write_frac[0.5] drift[zigzag] seed[1]
@@ -22,6 +23,13 @@
 //   --metrics-out=PATH   dump the run's metrics registry as JSONL
 //   --chrome-trace=PATH  write a Chrome trace_event JSON of the run —
 //                        open in chrome://tracing or ui.perfetto.dev
+//   --causal-trace=PATH  build the happens-before DAG and dump it as JSONL;
+//                        with --chrome-trace, message chains additionally
+//                        become flow-event arrows in the trace
+//   --critical-path=SINK longest real-time path into the last span named
+//                        SINK (bare flag: the run's final span), with
+//                        per-edge-kind latency attribution
+//   --exec-stats         print the executor's scheduler self-metrics
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -29,10 +37,12 @@
 #include <optional>
 #include <string>
 
+#include "algos/flood.hpp"
 #include "clock/discipline.hpp"
 #include "core/trace_io.hpp"
 #include "mmt/mmt_system.hpp"
 #include "obs/instrument.hpp"
+#include "runtime/system.hpp"
 #include "rw/harness.hpp"
 #include "rw/queue.hpp"
 #include "util/stats.hpp"
@@ -115,6 +125,9 @@ class ObsSetup {
   explicit ObsSetup(const std::map<std::string, std::string>& args) {
     metrics_path_ = gets(args, "metrics-out", "");
     chrome_path_ = gets(args, "chrome-trace", "");
+    causal_path_ = gets(args, "causal-trace", "");
+    critical_sink_ = gets(args, "critical-path", "");
+    exec_stats_ = args.count("exec-stats") > 0;
     if (!metrics_path_.empty()) opts_.registry = &registry_;
     if (!chrome_path_.empty()) {
       chrome_.open(chrome_path_);
@@ -124,13 +137,19 @@ class ObsSetup {
       }
       opts_.chrome_out = &chrome_;
     }
+    // --critical-path implies building the DAG even without a dump path.
+    if (!causal_path_.empty() || !critical_sink_.empty()) {
+      opts_.causal = &causal_;
+    }
+    if (exec_stats_) opts_.exec_stats = true;
   }
 
   const ObsOptions* options() const {
     return opts_.enabled() ? &opts_ : nullptr;
   }
 
-  void finish(const TimedTrace& events, Time end_time) {
+  void finish(const TimedTrace& events, Time end_time,
+              const ExecutorReport* report = nullptr) {
     if (opts_.registry != nullptr) {
       registry_.gauge("run.end_time_ns").set(static_cast<double>(end_time));
       registry_.counter("run.events").add(events.size());
@@ -147,12 +166,72 @@ class ObsSetup {
       std::cout << "chrome trace written to " << chrome_path_
                 << " (open in chrome://tracing or ui.perfetto.dev)\n";
     }
+    if (opts_.causal != nullptr) finish_causal(end_time);
+    if (exec_stats_ && report != nullptr) print_exec_stats(report->stats);
   }
 
  private:
+  void finish_causal(Time end_time) {
+    const CausalDag& dag = causal_.dag();
+    if (!causal_path_.empty()) {
+      std::ofstream os(causal_path_);
+      if (!os) {
+        std::cerr << "cannot open " << causal_path_ << "\n";
+        std::exit(2);
+      }
+      dag.write_jsonl(os);
+      std::cout << "causal DAG (" << dag.size() << " spans, "
+                << dag.process_count() << " processes) written to "
+                << causal_path_ << "\n";
+    }
+    if (critical_sink_.empty() || dag.size() == 0) return;
+    // Bare --critical-path means "the run's final span"; a value names the
+    // sink action (last span with that name).
+    const SpanId sink = critical_sink_ == "1"
+                            ? static_cast<SpanId>(dag.size() - 1)
+                            : dag.find_last(critical_sink_);
+    if (sink == kNoSpan) {
+      std::cerr << "critical-path: no span named " << critical_sink_ << "\n";
+      std::exit(2);
+    }
+    const CriticalPath cp = dag.critical_path(sink);
+    std::cout << "critical path to " << dag.name(sink) << " (span " << sink
+              << "): " << cp.steps.size() << " steps, total "
+              << format_time(cp.total)
+              << (cp.total == dag.span(sink).time ? "" : " [INTERNAL ERROR]")
+              << (dag.span(sink).time == end_time ? " == run end time"
+                                                  : "")
+              << "\n";
+    for (std::size_t k = 0; k < kNumEdgeKinds; ++k) {
+      if (cp.by_kind[k] == 0) continue;
+      std::cout << "  " << to_string(static_cast<EdgeKind>(k)) << ": "
+                << format_time(cp.by_kind[k]) << "\n";
+    }
+  }
+
+  static void print_exec_stats(const ExecutorStats& s) {
+    std::cout << "scheduler: events=" << s.events
+              << " time_advances=" << s.time_advances << "\n"
+              << "  wake: pushes=" << s.wake_pushes << " pops=" << s.wake_pops
+              << " stale=" << s.wake_stale_pops
+              << " compactions=" << s.wake_compactions << "\n"
+              << "  dirty: flushes=" << s.dirty_flushes
+              << " repolls=" << s.dirty_repolls << " peak=" << s.dirty_peak
+              << " cache_hit_rate=" << s.cache_hit_rate() << "\n"
+              << "  routing: fast=" << s.route_fast
+              << " classify=" << s.route_classify
+              << " fast_path_rate=" << s.fast_path_rate()
+              << " fanout_inputs=" << s.fanout_inputs
+              << " fanout_classify=" << s.fanout_classify_calls
+              << " kind_hits=" << s.kind_hits
+              << " kind_resolves=" << s.kind_resolves << "\n";
+  }
+
   MetricsRegistry registry_;
+  CausalTraceProbe causal_;
   std::ofstream chrome_;
-  std::string metrics_path_, chrome_path_;
+  std::string metrics_path_, chrome_path_, causal_path_, critical_sink_;
+  bool exec_stats_ = false;
   ObsOptions opts_;
 };
 
@@ -206,7 +285,7 @@ int run_register(const std::string& scenario,
   std::cout << "linearizability: " << (lin.ok ? "VERIFIED" : "VIOLATED")
             << " (" << lin.states << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
-  obs.finish(run.events, run.end_time);
+  obs.finish(run.events, run.end_time, &run.report);
   return lin.ok ? 0 : 1;
 }
 
@@ -232,21 +311,57 @@ int run_queue(const std::map<std::string, std::string>& args) {
             << (lin.ok ? "VERIFIED" : "VIOLATED") << " (" << lin.states
             << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
-  obs.finish(run.events, ltime(run.events));
+  obs.finish(run.events, ltime(run.events), &run.report);
   return lin.ok ? 0 : 1;
+}
+
+// Flooding broadcast on a ring — the paper's cleanest causal-chain example:
+// the critical path into COMPLETE is the hop chain source → ... → last
+// node, so --causal-trace / --critical-path demonstrations read well.
+int run_flood(const std::map<std::string, std::string>& args) {
+  const int n = static_cast<int>(geti(args, "nodes", 3));
+  const Duration d1 = microseconds(geti(args, "d1_us", 20));
+  const Duration d2 = microseconds(geti(args, "d2_us", 300));
+  const Duration margin = microseconds(geti(args, "margin_us", 10));
+  const auto seed = static_cast<std::uint64_t>(geti(args, "seed", 1));
+  ObsSetup obs(args);
+
+  Executor exec({.horizon = seconds(60), .seed = seed});
+  const Graph g = Graph::ring(n);
+  ChannelConfig cc;
+  cc.d1 = d1;
+  cc.d2 = d2;
+  cc.seed = seed ^ 0xf100d;
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, /*source=*/0, /*payload=*/42,
+                                    /*hops_bound=*/g.n, d2, margin));
+  RunObserver observer(obs.options());
+  observer.add_channel_latency(d1, d2);
+  observer.attach(exec);
+  const ExecutorReport report = exec.run();
+
+  const bool safe = flood_safe(exec.events(), n);
+  std::cout << "flood: " << n << " nodes, " << report.steps
+            << " events, end time " << format_time(report.end_time) << "\n";
+  std::cout << "flood safety: " << (safe ? "VERIFIED" : "VIOLATED") << "\n";
+  maybe_dump(gets(args, "trace", ""), exec.events());
+  obs.finish(exec.events(), report.end_time, &report);
+  return safe ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: psc-sim <rw-timed|rw-clock|rw-sliced|rw-mmt|queue> "
+    std::cerr << "usage: psc-sim "
+                 "<rw-timed|rw-clock|rw-sliced|rw-mmt|queue|flood> "
                  "[--key=value ...]\n";
     return 2;
   }
   const std::string scenario = argv[1];
   const auto args = parse_args(argc, argv);
   if (scenario == "queue") return run_queue(args);
+  if (scenario == "flood") return run_flood(args);
   if (scenario == "rw-timed" || scenario == "rw-clock" ||
       scenario == "rw-sliced" || scenario == "rw-mmt") {
     return run_register(scenario, args);
