@@ -12,6 +12,11 @@
 #   PSC_CAUSAL_TRACE=dag.jsonl      happens-before DAG of the first run
 # The variables are forwarded to the bench binaries untouched; unset means
 # zero instrumentation.
+#
+# Conformance overhead (see docs/ANALYSIS.md):
+#   PSC_LINT=1   bench_executor adds a third arm per config — the scheduler
+#                loop with the online invariant probe attached — and gates
+#                its overhead < 5% ns/event on configs >= 128 machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -1,6 +1,16 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure a RelWithDebInfo build with ASan+UBSan, build
-# everything, and run the full test suite under the sanitizers.
+# The repo's pre-merge gate, four lanes:
+#   1. ASan+UBSan: full build + full test suite + bench smoke under the
+#      sanitizers.
+#   2. ThreadSanitizer: the executor/observability/fuzzer tests under TSan
+#      (build-tsan). The executor is single-threaded by design; this lane
+#      exists to keep it that way.
+#   3. clang-tidy (skipped when the binary is absent): the src/ tree against
+#      .clang-tidy.
+#   4. psc-lint: run the flood/rw-clock/queue harnesses with --lint (static
+#      composition lint + online invariant probe), dump their traces, and
+#      replay them offline through psc-lint — any error-severity PSC
+#      diagnostic fails the lane.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -8,6 +18,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+# --- lane 1: ASan+UBSan ------------------------------------------------------
 
 cmake -B "$BUILD_DIR" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -21,3 +33,57 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Smoke the perf bench under the sanitizers (tiny sweep, no timing claims):
 # catches memory errors on the scheduler hot path that tests may not reach.
 "$BUILD_DIR"/bench/bench_executor --smoke
+
+# --- lane 2: ThreadSanitizer -------------------------------------------------
+
+TSAN_DIR=build-tsan
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+
+cmake -B "$TSAN_DIR" -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+
+cmake --build "$TSAN_DIR" -j
+
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'Executor|Scheduler|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean'
+
+# --- lane 3: clang-tidy ------------------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Reuse the TSan lane's compile_commands.json (any configured build works).
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$TSAN_DIR" --quiet --warnings-as-errors='*'
+else
+  echo "clang-tidy not found; skipping the tidy lane" >&2
+fi
+
+# --- lane 4: psc-lint over the shipped harnesses -----------------------------
+
+cmake --build "$BUILD_DIR" -j --target psc-sim psc-lint
+
+LINT_TMP="$(mktemp -d)"
+trap 'rm -rf "$LINT_TMP"' EXIT
+
+# Online: --lint attaches the composition linter (PSC0xx, aborts on error)
+# and the invariant probe (PSC1xx, nonzero exit on error). Each run also
+# dumps its trace for the offline replay below.
+"$BUILD_DIR"/tools/psc-sim flood --nodes=4 --lint \
+  --trace="$LINT_TMP/flood.jsonl" >/dev/null
+"$BUILD_DIR"/tools/psc-sim rw-clock --nodes=3 --ops=10 --lint \
+  --trace="$LINT_TMP/rw_clock.jsonl" >/dev/null
+"$BUILD_DIR"/tools/psc-sim queue --nodes=3 --ops=8 --lint \
+  --trace="$LINT_TMP/queue.jsonl" >/dev/null
+
+# Offline: replay the dumped JSONL traces against the same bounds the
+# scenarios ran with (psc-sim defaults: d1=20us d2=300us eps=50us).
+"$BUILD_DIR"/tools/psc-lint --trace="$LINT_TMP/flood.jsonl" \
+  --d1_us=20 --d2_us=300 --nodes=4
+"$BUILD_DIR"/tools/psc-lint --trace="$LINT_TMP/rw_clock.jsonl" \
+  --d1_us=20 --d2_us=300 --eps_us=50 --nodes=3
+"$BUILD_DIR"/tools/psc-lint --trace="$LINT_TMP/queue.jsonl" \
+  --d1_us=20 --d2_us=300 --eps_us=50 --nodes=3
+
+echo "check.sh: all lanes passed"

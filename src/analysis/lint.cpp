@@ -1,0 +1,242 @@
+#include "analysis/lint.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace psc {
+
+namespace {
+
+bool field_unifies(int a, int b) {
+  return a == kAnyNode || b == kAnyNode || a == b;
+}
+
+// Whether two declared entries can match a common action kind.
+bool entries_unify(const SignatureDecl::Entry& a,
+                   const SignatureDecl::Entry& b) {
+  return a.name == b.name && field_unifies(a.node, b.node) &&
+         field_unifies(a.peer, b.peer);
+}
+
+bool is_local(ActionRole r) {
+  return r == ActionRole::kOutput || r == ActionRole::kInternal;
+}
+
+std::string field_str(int v) {
+  if (v == kAnyNode) return "*";
+  if (v == kNoNode) return "-";
+  return std::to_string(v);
+}
+
+std::string kind_str(const SignatureDecl::Entry& e) {
+  return e.name + "(" + field_str(e.node) + "," + field_str(e.peer) + ")";
+}
+
+// A synthesized argument-free action of the entry's kind, for probing
+// classify() on machines we cannot see into. Wildcard peers probe as
+// kNoNode; wildcard nodes are not probeable (callers skip those entries).
+Action probe_action(const SignatureDecl::Entry& e) {
+  Action a;
+  a.name = e.name;
+  a.node = e.node == kAnyNode ? kNoNode : e.node;
+  a.peer = e.peer == kAnyNode ? kNoNode : e.peer;
+  return a;
+}
+
+// classify() on a hypothetical action; a machine that chokes on the probe
+// (e.g. a composite raising its double-local check) is treated as not
+// recognizing it — the real error surfaces through its own path.
+ActionRole safe_classify(const Machine& m, const Action& a) {
+  try {
+    return m.classify(a);
+  } catch (const CheckError&) {
+    return ActionRole::kNotMine;
+  }
+}
+
+struct DeclaredEntry {
+  SignatureDecl::Entry entry;
+  const Machine* machine;
+};
+
+}  // namespace
+
+DiagnosticReport lint_composition(const std::vector<const Machine*>& machines,
+                                  const LintOptions& opts) {
+  DiagnosticReport report;
+
+  // --- collect declarations ------------------------------------------------
+  std::vector<DeclaredEntry> inputs, locals;
+  std::vector<const Machine*> opaque;
+  for (const Machine* m : machines) {
+    SignatureDecl decl;
+    if (!m->declare_signature(decl)) {
+      opaque.push_back(m);
+      if (opts.report_undeclared) {
+        report.add(DiagCode::kUndeclaredMachine,
+                   "stays on the classify() fallback path", m->name());
+      }
+      continue;
+    }
+    for (const SignatureDecl::Entry& e : decl.entries()) {
+      (e.role == ActionRole::kInput ? inputs : locals)
+          .push_back(DeclaredEntry{e, m});
+    }
+    // PSC008: the declaration must mirror classify() on its own kinds.
+    // Entries with a wildcard node cannot be synthesized meaningfully, and
+    // input entries shadowed by a same-machine local entry are skipped —
+    // classify()'s local-beats-input rule reports the local role for those
+    // (composition merges re-declare internally routed interfaces).
+    for (const SignatureDecl::Entry& e : decl.entries()) {
+      if (e.node == kAnyNode) continue;
+      if (e.role == ActionRole::kInput) {
+        bool shadowed = false;
+        for (const SignatureDecl::Entry& l : decl.entries()) {
+          if (is_local(l.role) && entries_unify(l, e)) {
+            shadowed = true;
+            break;
+          }
+        }
+        if (shadowed) continue;
+      }
+      const ActionRole got = safe_classify(*m, probe_action(e));
+      if (got != e.role) {
+        std::ostringstream msg;
+        msg << "declares " << kind_str(e) << " as " << to_string(e.role)
+            << " but classify() says " << to_string(got);
+        report.add(DiagCode::kDeclClassifyDrift, msg.str(), m->name());
+      }
+    }
+  }
+
+  // --- PSC001: a kind locally controlled by two machines -------------------
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    for (std::size_t j = i + 1; j < locals.size(); ++j) {
+      if (locals[i].machine == locals[j].machine) continue;
+      if (!entries_unify(locals[i].entry, locals[j].entry)) continue;
+      std::ostringstream msg;
+      msg << kind_str(locals[i].entry) << " claimed by "
+          << locals[i].machine->name() << " and "
+          << locals[j].machine->name();
+      report.add(DiagCode::kMultiplyClaimed, msg.str(),
+                 locals[i].machine->name());
+    }
+  }
+
+  // --- PSC002/PSC004: inputs nothing can produce ----------------------------
+  for (const DeclaredEntry& in : inputs) {
+    bool produced = false;
+    for (const DeclaredEntry& l : locals) {
+      // A same-machine local entry shadows the input (composition merges
+      // re-declare routed-internally interfaces); that is a producer.
+      if (entries_unify(l.entry, in.entry)) {
+        produced = true;
+        break;
+      }
+    }
+    if (!produced && in.entry.node == kAnyNode && !opaque.empty()) {
+      continue;  // cannot probe opaque machines for a wildcard-node kind
+    }
+    if (!produced) {
+      const Action probe = probe_action(in.entry);
+      for (const Machine* m : opaque) {
+        if (is_local(safe_classify(*m, probe))) {
+          produced = true;
+          break;
+        }
+      }
+    }
+    if (produced) continue;
+    bool near_miss = false;
+    std::ostringstream msg;
+    for (const DeclaredEntry& l : locals) {
+      if (l.entry.name == in.entry.name) {
+        near_miss = true;
+        msg << in.machine->name() << " consumes " << kind_str(in.entry)
+            << " but " << l.machine->name() << " produces "
+            << kind_str(l.entry);
+        break;
+      }
+    }
+    if (near_miss) {
+      report.add(DiagCode::kEndpointMismatch, msg.str(), in.machine->name());
+    } else {
+      msg << "no machine produces " << kind_str(in.entry);
+      report.add(DiagCode::kNoProducer, msg.str(), in.machine->name());
+    }
+  }
+
+  // --- PSC003: outputs nothing consumes (note) -----------------------------
+  for (const DeclaredEntry& out : locals) {
+    if (out.entry.role != ActionRole::kOutput) continue;  // internals are
+                                                          // self-consumed
+    bool consumed = false;
+    for (const DeclaredEntry& in : inputs) {
+      // Same-machine inputs count: a composite consumes its own output when
+      // a member inputs what another member produces (internal routing).
+      if (entries_unify(in.entry, out.entry)) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed && out.entry.node == kAnyNode && !opaque.empty()) continue;
+    if (!consumed) {
+      const Action probe = probe_action(out.entry);
+      for (const Machine* m : opaque) {
+        if (safe_classify(*m, probe) == ActionRole::kInput) {
+          consumed = true;
+          break;
+        }
+      }
+    }
+    if (!consumed) {
+      report.add(DiagCode::kNoConsumer,
+                 "no machine consumes " + kind_str(out.entry),
+                 out.machine->name());
+    }
+  }
+
+  // --- PSC005/PSC006: clock-model contracts over the machine tree ----------
+  Duration expected_eps = opts.eps;
+  const Machine* eps_setter = nullptr;
+  // Recursive walk via an explicit stack: (machine, under clock adapter?).
+  std::vector<std::pair<const Machine*, bool>> stack;
+  for (const Machine* m : machines) stack.emplace_back(m, false);
+  while (!stack.empty()) {
+    const auto [m, under_clock] = stack.back();
+    stack.pop_back();
+    const ModelTraits tr = m->model_traits();
+    if (tr.clock_eps >= 0) {
+      if (expected_eps < 0) {
+        expected_eps = tr.clock_eps;
+        eps_setter = m;
+      } else if (tr.clock_eps != expected_eps) {
+        std::ostringstream msg;
+        msg << "clock eps " << format_time(tr.clock_eps) << " but the system"
+            << (opts.eps >= 0 ? " requires "
+                              : (eps_setter != nullptr
+                                     ? " (first seen at " +
+                                           eps_setter->name() + ") uses "
+                                     : " uses "))
+            << format_time(expected_eps);
+        report.add(DiagCode::kEpsMismatch, msg.str(), m->name());
+      }
+    }
+    if (tr.reads_real_time && under_clock) {
+      report.add(DiagCode::kRealTimeUnderClock,
+                 "transitions read `now` inside a clock-driven composition",
+                 m->name());
+    }
+    const bool child_clock = under_clock || tr.clock_adapter;
+    for (std::size_t k = 0; k < m->member_count(); ++k) {
+      const Machine* child = m->member_at(k);
+      if (child != nullptr) stack.emplace_back(child, child_clock);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace psc

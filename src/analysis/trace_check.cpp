@@ -1,0 +1,204 @@
+#include "analysis/trace_check.hpp"
+
+#include <sstream>
+
+#include "core/relations.hpp"
+
+namespace psc {
+
+TraceChecker::TraceChecker(TraceCheckOptions opts) : opts_(opts) {}
+
+void TraceChecker::observe(const TimedEvent& e) {
+  // PSC101: recorded clock readings stay within the C_eps band (plus ell
+  // under MMT, where the node's clock is the last *ticked* value and may
+  // lag by one tick interval on top of the drift).
+  if (opts_.eps >= 0 && e.clock != kNoClockTag) {
+    const Duration band =
+        opts_.eps + (opts_.ell > 0 ? opts_.ell : 0) + opts_.slack;
+    const Duration skew =
+        e.clock > e.time ? e.clock - e.time : e.time - e.clock;
+    if (skew > band) {
+      std::ostringstream msg;
+      msg << "clock reads " << format_time(e.clock) << " at real time "
+          << format_time(e.time) << " (skew " << format_time(skew)
+          << " > band " << format_time(band) << ")";
+      report_.add(DiagCode::kClockDrift, msg.str(), e.action.name, e.time);
+    }
+  }
+
+  check_channel(e);
+  if (opts_.ell >= 0) check_mmt(e);
+
+  if (opts_.check_order && opts_.num_nodes > 0 && opts_.eps >= 0 &&
+      e.clock != kNoClockTag) {
+    clocked_.push_back(e);
+  }
+}
+
+void TraceChecker::check_channel(const TimedEvent& e) {
+  const auto& a = e.action;
+  if (!a.msg.has_value()) return;
+  const std::uint64_t uid = a.msg->uid;
+
+  if (a.name == "SENDMSG") {
+    msgs_[uid].send_time = e.time;
+    return;
+  }
+  if (a.name == "ESENDMSG") {
+    MsgRecord& r = msgs_[uid];
+    r.esend_time = e.time;
+    if (a.msg->clock_tag != kNoClockTag) r.tag = a.msg->clock_tag;
+    return;
+  }
+
+  if (a.name == "ERECVMSG") {
+    const auto it = msgs_.find(uid);
+    if (it == msgs_.end() || it->second.esend_time < 0) {
+      report_.add(DiagCode::kUnknownDelivery,
+                  "ERECVMSG of uid " + std::to_string(uid) +
+                      " with no matching ESENDMSG",
+                  a.name, e.time);
+      return;
+    }
+    // The tag travels with the message; remember it here too, because the
+    // receive buffer strips it before the RECVMSG release.
+    if (a.msg->clock_tag != kNoClockTag) it->second.tag = a.msg->clock_tag;
+    // PSC102 (Simulation 1): the physical channel carries (m, c) within
+    // [d1, d2] of real time.
+    if (opts_.d2 >= 0) {
+      const Duration lat = e.time - it->second.esend_time;
+      if (lat < opts_.d1 || lat > opts_.d2) {
+        std::ostringstream msg;
+        msg << "uid " << uid << " delivered after " << format_time(lat)
+            << ", outside [" << format_time(opts_.d1 < 0 ? 0 : opts_.d1)
+            << ", " << format_time(opts_.d2) << "]";
+        report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+      }
+    }
+    return;
+  }
+
+  if (a.name != "RECVMSG") return;
+  const auto it = msgs_.find(uid);
+  if (it == msgs_.end()) {
+    report_.add(DiagCode::kUnknownDelivery,
+                "RECVMSG of uid " + std::to_string(uid) +
+                    " with no matching send",
+                a.name, e.time);
+    return;
+  }
+  const MsgRecord& r = it->second;
+  if (r.esend_time < 0) {
+    // Timed model: RECVMSG is the physical delivery — check [d1, d2].
+    if (opts_.d2 >= 0 && r.send_time >= 0) {
+      const Duration lat = e.time - r.send_time;
+      if (lat < opts_.d1 || lat > opts_.d2) {
+        std::ostringstream msg;
+        msg << "uid " << uid << " delivered after " << format_time(lat)
+            << ", outside [" << format_time(opts_.d1 < 0 ? 0 : opts_.d1)
+            << ", " << format_time(opts_.d2) << "]";
+        report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+      }
+    }
+    return;
+  }
+  // Simulation 1: RECVMSG is the buffer release. The receiver's clock at
+  // release is the event's clock reading; the sender's clock is the tag.
+  if (r.tag != kNoClockTag && e.clock != kNoClockTag) {
+    // PSC103: Lamport's condition — never deliver before the local clock
+    // reaches the clock value at which the message was sent.
+    if (e.clock + opts_.slack < r.tag) {
+      std::ostringstream msg;
+      msg << "uid " << uid << " released at receiver clock "
+          << format_time(e.clock) << " before its send tag "
+          << format_time(r.tag);
+      report_.add(DiagCode::kEarlyRelease, msg.str(), a.name, e.time);
+    }
+    // PSC104: Theorem 4.7 — in the simulated timed execution, clock-time
+    // delivery latency lies in [max(d1 - 2eps, 0), d2 + 2eps].
+    if (opts_.d2 >= 0 && opts_.eps >= 0) {
+      const Duration lo =
+          opts_.d1 > 2 * opts_.eps ? opts_.d1 - 2 * opts_.eps : 0;
+      const Duration hi = opts_.d2 + 2 * opts_.eps;
+      const Duration lat = e.clock - r.tag;
+      if (lat + opts_.slack < lo || lat > hi + opts_.slack) {
+        std::ostringstream msg;
+        msg << "uid " << uid << " clock-time latency " << format_time(lat)
+            << " outside [" << format_time(lo) << ", " << format_time(hi)
+            << "]";
+        report_.add(DiagCode::kWidenedWindow, msg.str(), a.name, e.time);
+      }
+    }
+  }
+}
+
+void TraceChecker::check_mmt(const TimedEvent& e) {
+  // PSC105 half 1: the clock subsystem C^m fires a TICK at least every ell
+  // (its single task class has boundmap [0, ell], enabled from time 0).
+  if (e.action.name == "TICK" && e.action.node != kNoNode) {
+    const auto it = last_tick_.find(e.action.node);
+    const Time prev = it == last_tick_.end() ? 0 : it->second;
+    if (e.time - prev > opts_.ell + opts_.slack) {
+      std::ostringstream msg;
+      msg << "node " << e.action.node << " tick gap "
+          << format_time(e.time - prev) << " > ell "
+          << format_time(opts_.ell);
+      report_.add(DiagCode::kBoundmapOverrun, msg.str(), "TICK", e.time);
+    }
+    last_tick_[e.action.node] = e.time;
+  }
+  // PSC105 half 2: an MMT node (recognized by its MMTSTEP taus) performs a
+  // step — output or tau — at least every ell. Gaps are measured between
+  // consecutive locally controlled events of the same owner; the trailing
+  // gap to the run's end is exempt (the run may stop mid-budget).
+  if (e.owner >= 0) {
+    if (e.action.name == "MMTSTEP") mmt_owners_.insert(e.owner);
+    const auto it = last_local_.find(e.owner);
+    if (mmt_owners_.count(e.owner) != 0) {
+      const Time prev = it == last_local_.end() ? 0 : it->second;
+      if (e.time - prev > opts_.ell + opts_.slack) {
+        std::ostringstream msg;
+        msg << "MMT node (owner " << e.owner << ") step gap "
+            << format_time(e.time - prev) << " > ell "
+            << format_time(opts_.ell);
+        report_.add(DiagCode::kBoundmapOverrun, msg.str(), e.action.name,
+                    e.time);
+      }
+    }
+    last_local_[e.owner] = e.time;
+  }
+}
+
+void TraceChecker::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (!opts_.check_order || opts_.num_nodes <= 0 || opts_.eps < 0 ||
+      clocked_.empty()) {
+    return;
+  }
+  // PSC106: the clock retiming gamma'_alpha (Def 4.2) — replace each
+  // clocked event's time by its clock reading and re-sort — must be
+  // =band,kappa-related to the original for kappa = one class per node:
+  // every event moves by at most the drift band and per-node order is
+  // preserved (P_eps, Section 4.3).
+  const Duration band =
+      opts_.eps + (opts_.ell > 0 ? opts_.ell : 0) + opts_.slack;
+  const TimedTrace retimed = stable_sort_by_time(retime_by_clock(clocked_));
+  const RelationResult rel =
+      eq_within(clocked_, retimed, band, per_node_classes(opts_.num_nodes));
+  if (!rel.related) {
+    report_.add(DiagCode::kOrderViolation,
+                "trace is not =eps,kappa-related to its clock retiming: " +
+                    rel.why);
+  }
+}
+
+DiagnosticReport check_trace(const TimedTrace& trace,
+                             const TraceCheckOptions& opts) {
+  TraceChecker checker(opts);
+  for (const TimedEvent& e : trace) checker.observe(e);
+  checker.finalize();
+  return checker.report();
+}
+
+}  // namespace psc

@@ -66,6 +66,26 @@ class SignatureDecl {
   std::vector<Entry> entries_;
 };
 
+// Model-level facts about a machine that the composition linter
+// (analysis/lint.hpp) cannot learn from the signature alone. Adapters that
+// reinterpret time report themselves here so the linter can walk a machine
+// tree and check the clock-model contracts without knowing the concrete
+// adapter types.
+struct ModelTraits {
+  // Drives its members with clock values instead of real time (the C(A,eps)
+  // adapter of Def 4.1, or the MMT wrapper M(A,ell) of Def 5.1). Members of
+  // a clock adapter live in the clock model.
+  bool clock_adapter = false;
+  // The eps of the C_eps envelope (Def 2.5) this machine observes its clock
+  // through; negative when the machine carries no clock. All clocks of one
+  // system must share one eps (the predicate C_eps is system-wide).
+  Duration clock_eps = -1;
+  // The machine's transitions read real time (`now`) directly. Harmless in
+  // the timed model; under a clock adapter it breaks epsilon-time
+  // independence (Def 2.6) and voids the simulation theorems.
+  bool reads_real_time = false;
+};
+
 class Machine {
  public:
   explicit Machine(std::string name) : name_(std::move(name)) {}
@@ -112,6 +132,19 @@ class Machine {
   // (clock/MMT models); kNoClockTag otherwise. Used for trace metadata (the
   // c_i(alpha) values of Section 4.3) — never for transition decisions.
   virtual Time clock_reading(Time /*t*/) const { return kNoClockTag; }
+
+  // Model-level self-description for the composition linter (see
+  // ModelTraits). The default — no adapter, no clock, no real-time reads —
+  // is right for plain algorithm machines.
+  virtual ModelTraits model_traits() const { return {}; }
+
+  // Structural traversal for analyses: wrappers and composites expose their
+  // members so a linter can walk the machine tree without dynamic_casts.
+  // Leaf machines report zero members.
+  virtual std::size_t member_count() const { return 0; }
+  virtual const Machine* member_at(std::size_t /*idx*/) const {
+    return nullptr;
+  }
 
  private:
   std::string name_;

@@ -24,4 +24,21 @@ std::string trace_to_text(const TimedTrace& trace);
 TimedTrace read_trace(std::istream& is);
 TimedTrace trace_from_text(const std::string& text);
 
+// JSON Lines form of the same data, for interchange with external tooling
+// (and the psc-lint CLI). One object per line:
+//   {"time":<ns>,"clock":<ns>,"owner":<idx>,"visible":<bool>,
+//    "name":"...","node":<idx>,"peer":<idx>,
+//    "args":[{"i":<int>}|{"f":<float>}|{"s":"..."}|{"u":null}, ...],
+//    "msg":{"kind":"...","uid":<n>,"tag":<ns>,"fields":[...]}}
+// Absent clock/owner/node/peer/tag are omitted; empty args/msg are omitted.
+void write_trace_jsonl(std::ostream& os, const TimedTrace& trace);
+
+// Parses what write_trace_jsonl produced (a restricted JSON subset; throws
+// CheckError on malformed input).
+TimedTrace read_trace_jsonl(std::istream& is);
+
+// Reads either format, sniffing by the first non-whitespace byte ('{' means
+// JSONL).
+TimedTrace read_trace_any(std::istream& is);
+
 }  // namespace psc

@@ -63,6 +63,18 @@ class MmtNode final : public Machine {
   Time next_enabled(Time t) const override;
   Time clock_reading(Time t) const override;
 
+  // The MMT wrapper drives its member with simulated clock values (the
+  // missed-clock model of Section 5); eps is the TickSource's business.
+  ModelTraits model_traits() const override {
+    ModelTraits tr;
+    tr.clock_adapter = true;
+    return tr;
+  }
+  std::size_t member_count() const override { return 1; }
+  const Machine* member_at(std::size_t idx) const override {
+    return idx == 0 ? inner_.get() : nullptr;
+  }
+
  private:
   struct PendingOutput {
     Action action;

@@ -32,6 +32,12 @@ class TickSource final : public Machine {
   Time next_enabled(Time t) const override;
   Time clock_reading(Time t) const override;
 
+  ModelTraits model_traits() const override {
+    ModelTraits tr;
+    tr.clock_eps = traj_->eps();
+    return tr;
+  }
+
   std::size_t ticks() const { return ticks_; }
 
  private:

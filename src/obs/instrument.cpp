@@ -1,5 +1,6 @@
 #include "obs/instrument.hpp"
 
+#include "analysis/trace_check.hpp"
 #include "runtime/executor.hpp"
 
 namespace psc {
@@ -84,6 +85,7 @@ void RunObserver::attach(Executor& exec) {
     opts_.causal->set_trace(chrome());
     exec.attach_probe(opts_.causal);
   }
+  if (opts_.lint != nullptr) exec.attach_probe(opts_.lint);
   if (opts_.exec_stats) {
     MetricsRegistry* reg = sink();
     if (reg != nullptr) {

@@ -28,6 +28,7 @@
 namespace psc {
 
 class Executor;
+class InvariantProbe;
 
 struct ObsOptions {
   // Sink for the built-in metric probes; nullptr disables them.
@@ -47,9 +48,14 @@ struct ObsOptions {
   // registry at run end. Off by default so runs that pin exact registry
   // contents are unaffected.
   bool exec_stats = false;
+  // Caller-owned online invariant checker (analysis/trace_check.hpp).
+  // attach() wires it after the causal probe; the caller keeps it to read
+  // the diagnostic report after the run.
+  InvariantProbe* lint = nullptr;
 
   bool enabled() const {
-    return registry != nullptr || chrome_out != nullptr || causal != nullptr;
+    return registry != nullptr || chrome_out != nullptr || causal != nullptr ||
+           lint != nullptr;
   }
 };
 

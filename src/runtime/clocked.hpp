@@ -43,6 +43,17 @@ class ClockedMachine final : public Machine {
   Time next_enabled(Time t) const override;
   Time clock_reading(Time t) const override;
 
+  ModelTraits model_traits() const override {
+    ModelTraits tr;
+    tr.clock_adapter = true;
+    tr.clock_eps = traj_->eps();
+    return tr;
+  }
+  std::size_t member_count() const override { return 1; }
+  const Machine* member_at(std::size_t idx) const override {
+    return idx == 0 ? inner_.get() : nullptr;
+  }
+
  private:
   std::unique_ptr<Machine> inner_;
   std::shared_ptr<const ClockTrajectory> traj_;

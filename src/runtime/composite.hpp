@@ -50,6 +50,11 @@ class CompositeMachine : public Machine {
   Time upper_bound(Time t) const override;
   Time next_enabled(Time t) const override;
 
+  std::size_t member_count() const override { return members_.size(); }
+  const Machine* member_at(std::size_t idx) const override {
+    return idx < members_.size() ? members_[idx].get() : nullptr;
+  }
+
  private:
   // Routes an already-applied local action of member `owner` to other
   // members that input it.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "util/check.hpp"
@@ -473,7 +475,24 @@ void Executor::run_loop_legacy() {
   }
 }
 
+DiagnosticReport Executor::validate_composition(const LintOptions& opts) const {
+  std::vector<const Machine*> ms(machines_.begin(), machines_.end());
+  return lint_composition(ms, opts);
+}
+
+namespace {
+bool env_validate_enabled() {
+  const char* v = std::getenv("PSC_VALIDATE");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+}  // namespace
+
 ExecutorReport Executor::run() {
+  if (options_.validate || env_validate_enabled()) {
+    const DiagnosticReport rep = validate_composition();
+    PSC_CHECK(!rep.has_errors(),
+              "composition lint failed:\n" << rep.to_text());
+  }
   for (Probe* p : probes_) p->on_run_begin(now_);
   if (options_.legacy_scan) {
     run_loop_legacy();

@@ -32,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "core/machine.hpp"
 #include "core/trace.hpp"
 #include "obs/probe.hpp"
@@ -54,6 +55,10 @@ struct ExecutorOptions {
   // attached the per-event cost is one empty-vector branch, so the
   // uninstrumented hot path is unchanged.
   std::vector<Probe*> probes = {};
+  // Lint the composition (src/analysis/lint.hpp) at the start of run() and
+  // fail fast (PSC_CHECK) on any error-severity diagnostic. Also enabled by
+  // setting the PSC_VALIDATE environment variable to anything but "0".
+  bool validate = false;
 };
 
 // Self-metrics of the calendar/dirty-set scheduler, maintained as plain
@@ -144,6 +149,11 @@ class Executor {
   // ExecutorOptions.probes — both land in the same list, so they cannot
   // drift apart). Non-owning; the probe must outlive the run.
   void attach_probe(Probe* probe);
+
+  // Lints the composition as assembled so far (all machines added, hides
+  // applied) without running it; see src/analysis/lint.hpp for the codes.
+  // run() calls this when ExecutorOptions::validate or PSC_VALIDATE is set.
+  DiagnosticReport validate_composition(const LintOptions& opts = {}) const;
 
   // Runs until the horizon, quiescence, the stop_when predicate, or the
   // event cap.

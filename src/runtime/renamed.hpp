@@ -40,6 +40,11 @@ class RenamedMachine final : public Machine {
   Time next_enabled(Time t) const override;
   Time clock_reading(Time t) const override;
 
+  std::size_t member_count() const override { return 1; }
+  const Machine* member_at(std::size_t idx) const override {
+    return idx == 0 ? inner_.get() : nullptr;
+  }
+
  private:
   Action to_inner(const Action& a) const;
   Action to_outer(Action a) const;

@@ -92,7 +92,7 @@ void watch_node_buffers(Sim1BufferProbe* bp, CausalTraceProbe* cp,
 }  // namespace
 
 RwRunResult run_rw_timed(const RwRunConfig& cfg) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan, .validate = cfg.validate});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -105,7 +105,7 @@ RwRunResult run_rw_timed(const RwRunConfig& cfg) {
 }
 
 RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan, .validate = cfg.validate});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -146,7 +146,7 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
 }
 
 RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan, .validate = cfg.validate});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete(cfg.num_nodes);
@@ -181,7 +181,7 @@ RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
 
 RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
                        Duration ell, int k) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan, .validate = cfg.validate});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);
@@ -215,7 +215,7 @@ RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
 
 RwRunResult run_rw_clock_nobuffer(const RwRunConfig& cfg,
                                   const DriftModel& drift) {
-  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan});
+  Executor exec({.horizon = cfg.horizon, .seed = cfg.seed, .legacy_scan = cfg.legacy_scan, .validate = cfg.validate});
   std::vector<RwClient*> clients;
   add_clients(exec, cfg, &clients);
   const Graph g = Graph::complete_with_self_loops(cfg.num_nodes);

@@ -51,6 +51,9 @@ struct RwRunConfig {
   // Run on the executor's legacy polling loop (see ExecutorOptions) —
   // determinism regressions A/B the two schedulers with this.
   bool legacy_scan = false;
+  // Lint the composition before the run (ExecutorOptions::validate): any
+  // error-severity PSC0xx diagnostic aborts via PSC_CHECK.
+  bool validate = false;
   // Observability (see obs/instrument.hpp). When set, the harness attaches
   // the built-in probes that apply to the assembly being run — clock skew
   // vs eps, channel latency vs [d1, d2], Simulation-1 buffer occupancy and

@@ -146,6 +146,8 @@ struct QueueRunConfig {
   Time horizon = seconds(30);
   // Run on the executor's legacy polling loop, as in RwRunConfig.
   bool legacy_scan = false;
+  // Lint the composition before the run, as in RwRunConfig.
+  bool validate = false;
   // Observability hookup, as in RwRunConfig (see obs/instrument.hpp).
   const ObsOptions* obs = nullptr;
 };

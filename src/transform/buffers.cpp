@@ -25,6 +25,12 @@ ActionRole SendBuffer::classify(const Action& a) const {
   return ActionRole::kNotMine;
 }
 
+bool SendBuffer::declare_signature(SignatureDecl& decl) const {
+  decl.input("SENDMSG", i_, j_);
+  decl.output("ESENDMSG", i_, j_);
+  return true;
+}
+
 void SendBuffer::apply_input(const Action& a, Time clock) {
   PSC_CHECK(a.msg.has_value(), "SENDMSG without message");
   q_.push_back({*a.msg, clock});
@@ -70,6 +76,12 @@ ActionRole ReceiveBuffer::classify(const Action& a) const {
     return ActionRole::kOutput;
   }
   return ActionRole::kNotMine;
+}
+
+bool ReceiveBuffer::declare_signature(SignatureDecl& decl) const {
+  decl.input("ERECVMSG", i_, j_);
+  decl.output("RECVMSG", i_, j_);
+  return true;
 }
 
 void ReceiveBuffer::apply_input(const Action& a, Time clock) {

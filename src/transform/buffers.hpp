@@ -35,6 +35,7 @@ class SendBuffer final : public Machine {
   SendBuffer(int i, int j);
 
   ActionRole classify(const Action& a) const override;
+  bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time clock) override;
   std::vector<Action> enabled(Time clock) const override;
   void apply_local(const Action& a, Time clock) override;
@@ -64,6 +65,7 @@ class ReceiveBuffer final : public Machine {
   ReceiveBuffer(int j, int i);
 
   ActionRole classify(const Action& a) const override;
+  bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time clock) override;
   std::vector<Action> enabled(Time clock) const override;
   void apply_local(const Action& a, Time clock) override;

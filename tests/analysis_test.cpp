@@ -1,0 +1,507 @@
+// Model-conformance analyzer tests (src/analysis/).
+//
+// Layer 1 (composition lint): each seeded mis-assembly is detected with its
+// stable PSC0xx code, and every shipped harness assembly is diagnostic-clean.
+// Layer 2 (trace invariants): each seeded trace violation is detected with
+// its stable PSC1xx code — synthetically, then end-to-end on the shipped
+// flood/rw/queue harnesses both online (InvariantProbe) and offline
+// (check_trace over a serialized-and-reparsed trace).
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "analysis/trace_check.hpp"
+#include "channel/channel.hpp"
+#include "clock/trajectory.hpp"
+#include "core/trace_io.hpp"
+#include "mmt/tick_source.hpp"
+#include "obs/instrument.hpp"
+#include "runtime/clocked.hpp"
+#include "runtime/executor.hpp"
+#include "rw/harness.hpp"
+#include "rw/queue.hpp"
+#include "transform/buffers.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+namespace {
+
+// A drift-free trajectory that nonetheless advertises accuracy eps.
+std::shared_ptr<const ClockTrajectory> perfect_traj(Duration eps) {
+  return std::make_shared<const ClockTrajectory>(
+      std::vector<Breakpoint>{{0, 0}}, eps);
+}
+
+// A clock-model machine whose transitions (illegally) consult real time.
+class NowReader final : public Machine {
+ public:
+  NowReader() : Machine("NowReader") {}
+  ActionRole classify(const Action&) const override {
+    return ActionRole::kNotMine;
+  }
+  void apply_input(const Action&, Time) override {}
+  std::vector<Action> enabled(Time) const override { return {}; }
+  void apply_local(const Action&, Time) override {}
+  ModelTraits model_traits() const override {
+    ModelTraits t;
+    t.reads_real_time = true;
+    return t;
+  }
+};
+
+// Declares an output kind its classify() disowns (PSC008 bait).
+class LyingMachine final : public Machine {
+ public:
+  LyingMachine() : Machine("Liar") {}
+  ActionRole classify(const Action&) const override {
+    return ActionRole::kNotMine;
+  }
+  bool declare_signature(SignatureDecl& decl) const override {
+    decl.output("PING", 0);
+    return true;
+  }
+  void apply_input(const Action&, Time) override {}
+  std::vector<Action> enabled(Time) const override { return {}; }
+  void apply_local(const Action&, Time) override {}
+};
+
+// --- Layer 1: seeded composition violations --------------------------------
+
+TEST(LintTest, DoubleClaimedKindIsPSC001) {
+  auto traj = perfect_traj(microseconds(50));
+  TickSource a(0, traj, microseconds(10), Rng(1));
+  TickSource b(0, traj, microseconds(10), Rng(2));
+  const auto report = lint_composition({&a, &b});
+  EXPECT_EQ(report.count(DiagCode::kMultiplyClaimed), 1u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintTest, DanglingChannelIsPSC002) {
+  Channel ch(0, 1, microseconds(10), microseconds(100),
+             DelayPolicy::uniform(), Rng(3));
+  const auto report = lint_composition({&ch});
+  // Nothing produces SENDMSG(0,1): dangling input endpoint.
+  EXPECT_EQ(report.count(DiagCode::kNoProducer), 1u);
+  // Nothing consumes RECVMSG(1,0): dead-interface note, not an error.
+  EXPECT_EQ(report.count(DiagCode::kNoConsumer), 1u);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.notes(), 1u);
+}
+
+TEST(LintTest, SwappedEndpointsArePSC004) {
+  // The buffer feeds edge 0->2 but the channel serves edge 0->1: the names
+  // match, the (node, peer) fields cannot align.
+  SendBuffer sb(0, 2);
+  Channel ch(0, 1, microseconds(10), microseconds(100),
+             DelayPolicy::uniform(), Rng(3), "ESENDMSG", "ERECVMSG");
+  const auto report = lint_composition({&sb, &ch});
+  EXPECT_GE(report.count(DiagCode::kEndpointMismatch), 1u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintTest, EpsMismatchIsPSC005) {
+  ClockedMachine a(std::make_unique<SendBuffer>(0, 1),
+                   perfect_traj(microseconds(50)));
+  ClockedMachine b(std::make_unique<SendBuffer>(1, 0),
+                   perfect_traj(microseconds(80)));
+  const auto report = lint_composition({&a, &b});
+  EXPECT_EQ(report.count(DiagCode::kEpsMismatch), 1u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintTest, EpsMismatchAgainstRequiredEps) {
+  ClockedMachine a(std::make_unique<SendBuffer>(0, 1),
+                   perfect_traj(microseconds(50)));
+  LintOptions opts;
+  opts.eps = microseconds(60);
+  const auto report = lint_composition({&a}, opts);
+  EXPECT_EQ(report.count(DiagCode::kEpsMismatch), 1u);
+}
+
+TEST(LintTest, RealTimeReadUnderClockIsPSC006) {
+  ClockedMachine wrapped(std::make_unique<NowReader>(),
+                         perfect_traj(microseconds(50)));
+  const auto report = lint_composition({&wrapped});
+  EXPECT_EQ(report.count(DiagCode::kRealTimeUnderClock), 1u);
+  // The same machine outside a clock adapter is legitimate.
+  NowReader bare;
+  EXPECT_EQ(lint_composition({&bare}).count(DiagCode::kRealTimeUnderClock),
+            0u);
+}
+
+TEST(LintTest, UndeclaredMachineIsPSC007NoteOnRequest) {
+  NowReader bare;  // does not declare
+  EXPECT_TRUE(lint_composition({&bare}).empty());
+  LintOptions opts;
+  opts.report_undeclared = true;
+  const auto report = lint_composition({&bare}, opts);
+  EXPECT_EQ(report.count(DiagCode::kUndeclaredMachine), 1u);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintTest, DeclarationClassifyDriftIsPSC008) {
+  LyingMachine liar;
+  const auto report = lint_composition({&liar});
+  EXPECT_EQ(report.count(DiagCode::kDeclClassifyDrift), 1u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintTest, ExecutorValidateFailsFastOnBadComposition) {
+  auto traj = perfect_traj(microseconds(50));
+  Executor exec({.horizon = milliseconds(1), .validate = true});
+  exec.add_owned(
+      std::make_unique<TickSource>(0, traj, microseconds(10), Rng(1)));
+  exec.add_owned(
+      std::make_unique<TickSource>(0, traj, microseconds(10), Rng(2)));
+  EXPECT_THROW(exec.run(), CheckError);
+}
+
+TEST(LintTest, ExecutorValidateComposition) {
+  Executor exec({.horizon = milliseconds(1)});
+  exec.add_owned(std::make_unique<Channel>(0, 1, microseconds(10),
+                                           microseconds(100),
+                                           DelayPolicy::uniform(), Rng(3)));
+  const auto report = exec.validate_composition();
+  EXPECT_EQ(report.count(DiagCode::kNoProducer), 1u);
+}
+
+// --- Layer 2: seeded trace violations ---------------------------------------
+
+TimedEvent ev(const char* name, Time t, int node = kNoNode,
+              int peer = kNoNode, Time clock = kNoClockTag) {
+  TimedEvent e;
+  e.action.name = name;
+  e.action.node = node;
+  e.action.peer = peer;
+  e.time = t;
+  e.clock = clock;
+  e.owner = node >= 0 ? node : 0;
+  return e;
+}
+
+TimedEvent msg_ev(const char* name, Time t, int node, int peer,
+                  std::uint64_t uid, Time tag = kNoClockTag,
+                  Time clock = kNoClockTag) {
+  TimedEvent e = ev(name, t, node, peer, clock);
+  Message m;
+  m.kind = "M";
+  m.uid = uid;
+  m.clock_tag = tag;
+  e.action.msg = m;
+  return e;
+}
+
+TEST(TraceCheckTest, ClockDriftOutsideBandIsPSC101) {
+  TraceCheckOptions opts;
+  opts.eps = microseconds(1);
+  TimedTrace trace{
+      ev("A", milliseconds(1), 0, kNoNode, milliseconds(1) + microseconds(10)),
+  };
+  const auto report = check_trace(trace, opts);
+  EXPECT_EQ(report.count(DiagCode::kClockDrift), 1u);
+  // Within the band: clean.
+  TimedTrace ok{ev("A", milliseconds(1), 0, kNoNode,
+                   milliseconds(1) + microseconds(1) - 100)};
+  EXPECT_TRUE(check_trace(ok, opts).empty());
+}
+
+TEST(TraceCheckTest, OutOfWindowDeliveryIsPSC102) {
+  TraceCheckOptions opts;
+  opts.d1 = microseconds(20);
+  opts.d2 = microseconds(300);
+  // Timed model: SENDMSG -> RECVMSG, delivered way past d2.
+  TimedTrace late{
+      msg_ev("SENDMSG", 0, 0, 1, 7),
+      msg_ev("RECVMSG", microseconds(500), 1, 0, 7),
+  };
+  EXPECT_EQ(check_trace(late, opts).count(DiagCode::kDeliveryWindow), 1u);
+  // Under d1 is also a violation.
+  TimedTrace early{
+      msg_ev("SENDMSG", 0, 0, 1, 8),
+      msg_ev("RECVMSG", microseconds(5), 1, 0, 8),
+  };
+  EXPECT_EQ(check_trace(early, opts).count(DiagCode::kDeliveryWindow), 1u);
+  // In-window: clean.
+  TimedTrace ok{
+      msg_ev("SENDMSG", 0, 0, 1, 9),
+      msg_ev("RECVMSG", microseconds(100), 1, 0, 9),
+  };
+  EXPECT_TRUE(check_trace(ok, opts).empty());
+  // Simulation 1: the physical pair is ESENDMSG -> ERECVMSG.
+  TimedTrace sim1_late{
+      msg_ev("ESENDMSG", 0, 0, 1, 10, /*tag=*/0),
+      msg_ev("ERECVMSG", microseconds(400), 1, 0, 10, /*tag=*/0),
+  };
+  EXPECT_EQ(check_trace(sim1_late, opts).count(DiagCode::kDeliveryWindow),
+            1u);
+}
+
+TEST(TraceCheckTest, BufferReleaseBeforeTagIsPSC103) {
+  TraceCheckOptions opts;  // no eps/d2: only the release rule applies
+  const Time tag = microseconds(100);
+  TimedTrace trace{
+      msg_ev("ESENDMSG", 0, 0, 1, 4, tag),
+      msg_ev("ERECVMSG", microseconds(50), 1, 0, 4, tag),
+      // Released while the receiver clock reads only 60us < the 100us tag.
+      msg_ev("RECVMSG", microseconds(70), 1, 0, 4, kNoClockTag,
+             /*clock=*/microseconds(60)),
+  };
+  const auto report = check_trace(trace, opts);
+  EXPECT_EQ(report.count(DiagCode::kEarlyRelease), 1u);
+  // Release at clock >= tag is the rule working: clean.
+  TimedTrace ok{
+      msg_ev("ESENDMSG", 0, 0, 1, 5, tag),
+      msg_ev("ERECVMSG", microseconds(50), 1, 0, 5, tag),
+      msg_ev("RECVMSG", microseconds(120), 1, 0, 5, kNoClockTag,
+             /*clock=*/microseconds(110)),
+  };
+  EXPECT_TRUE(check_trace(ok, opts).empty());
+}
+
+TEST(TraceCheckTest, WidenedWindowViolationIsPSC104) {
+  TraceCheckOptions opts;
+  opts.eps = microseconds(50);
+  opts.d1 = microseconds(20);
+  opts.d2 = microseconds(300);
+  const Time tag = microseconds(100);
+  // Clock-time latency 500us > d2 + 2eps = 400us. Real-time latency is kept
+  // in [d1, d2] and receiver clocks near real time so only PSC104 fires.
+  TimedTrace trace{
+      msg_ev("ESENDMSG", microseconds(90), 0, 1, 6, tag),
+      msg_ev("ERECVMSG", microseconds(290), 1, 0, 6, tag),
+      msg_ev("RECVMSG", microseconds(310), 1, 0, 6, kNoClockTag,
+             /*clock=*/tag + microseconds(500)),
+  };
+  const auto report = check_trace(trace, opts);
+  EXPECT_EQ(report.count(DiagCode::kWidenedWindow), 1u);
+  EXPECT_EQ(report.count(DiagCode::kEarlyRelease), 0u);
+}
+
+TEST(TraceCheckTest, BoundmapOverrunIsPSC105) {
+  TraceCheckOptions opts;
+  opts.ell = microseconds(10);
+  // First tick 50us after time 0 blows the [0, ell] boundmap.
+  TimedTrace trace{ev("TICK", microseconds(50), 0)};
+  EXPECT_EQ(check_trace(trace, opts).count(DiagCode::kBoundmapOverrun), 1u);
+  // Ticks every <= ell: clean.
+  TimedTrace ok{
+      ev("TICK", microseconds(8), 0),
+      ev("TICK", microseconds(16), 0),
+  };
+  EXPECT_TRUE(check_trace(ok, opts).empty());
+  // An MMT node (recognized by its MMTSTEP) must also step every <= ell.
+  TimedTrace step_gap{
+      ev("MMTSTEP", microseconds(5), 0),
+      ev("MMTSTEP", microseconds(40), 0),
+  };
+  EXPECT_EQ(check_trace(step_gap, opts).count(DiagCode::kBoundmapOverrun),
+            1u);
+}
+
+TEST(TraceCheckTest, PerNodeOrderViolationIsPSC106) {
+  TraceCheckOptions opts;
+  opts.eps = microseconds(5);
+  opts.num_nodes = 1;
+  // Node 0's clock inverts the real-time order of A and B: the clock
+  // retiming gamma'_alpha swaps them within the node's kappa class.
+  TimedTrace trace{
+      ev("A", 0, 0, kNoNode, /*clock=*/microseconds(2)),
+      ev("B", microseconds(1), 0, kNoNode, /*clock=*/0),
+  };
+  const auto report = check_trace(trace, opts);
+  EXPECT_EQ(report.count(DiagCode::kOrderViolation), 1u);
+  // Monotone per-node clocks: clean.
+  TimedTrace ok{
+      ev("A", 0, 0, kNoNode, /*clock=*/0),
+      ev("B", microseconds(1), 0, kNoNode, /*clock=*/microseconds(2)),
+  };
+  EXPECT_TRUE(check_trace(ok, opts).empty());
+}
+
+TEST(TraceCheckTest, UnknownDeliveryIsPSC107Warning) {
+  const auto report =
+      check_trace({msg_ev("RECVMSG", microseconds(10), 1, 0, 99)}, {});
+  EXPECT_EQ(report.count(DiagCode::kUnknownDelivery), 1u);
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.warnings(), 1u);
+}
+
+TEST(TraceCheckTest, ReportCapsStoredDiagnosticsButCountsAll) {
+  TraceCheckOptions opts;
+  opts.eps = 1;
+  TimedTrace trace;
+  for (int k = 0; k < 40; ++k) {
+    trace.push_back(
+        ev("A", microseconds(k + 1), 0, kNoNode, microseconds(k + 100)));
+  }
+  opts.num_nodes = 0;
+  const auto report = check_trace(trace, opts);
+  EXPECT_EQ(report.count(DiagCode::kClockDrift), 40u);
+  EXPECT_LE(report.diagnostics().size(), DiagnosticReport::kMaxStoredPerCode);
+  EXPECT_NE(report.to_text().find("suppressed"), std::string::npos);
+}
+
+// --- serialization ----------------------------------------------------------
+
+TEST(TraceJsonlTest, RoundTripsEventsAndDiagnostics) {
+  TimedTrace trace;
+  TimedEvent e = msg_ev("ESENDMSG", microseconds(3), 0, 1, 12,
+                        microseconds(2), microseconds(2));
+  e.action.args = {Value{std::int64_t{-7}}, Value{1.5},
+                   Value{std::string("a \"b\"\n\t")}, Value{}};
+  e.action.msg->fields = {Value{std::int64_t{9}},
+                          Value{std::string("x:y z")}};
+  e.visible = false;
+  trace.push_back(e);
+  trace.push_back(ev("TICK", microseconds(5), 2));
+
+  std::ostringstream os;
+  write_trace_jsonl(os, trace);
+  std::istringstream is(os.str());
+  const TimedTrace back = read_trace_jsonl(is);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    EXPECT_EQ(back[k].action, trace[k].action) << "event " << k;
+    EXPECT_EQ(back[k].time, trace[k].time);
+    EXPECT_EQ(back[k].clock, trace[k].clock);
+    EXPECT_EQ(back[k].owner, trace[k].owner);
+    EXPECT_EQ(back[k].visible, trace[k].visible);
+  }
+
+  // read_trace_any sniffs both formats.
+  std::istringstream js(os.str());
+  EXPECT_EQ(read_trace_any(js).size(), trace.size());
+  std::ostringstream ts;
+  write_trace(ts, trace);
+  std::istringstream tx(ts.str());
+  EXPECT_EQ(read_trace_any(tx).size(), trace.size());
+}
+
+TEST(TraceJsonlTest, DiagnosticReportJsonlHasCodeAndSeverity) {
+  DiagnosticReport report;
+  report.add(DiagCode::kClockDrift, "skew \"big\"", "node0", microseconds(5));
+  std::ostringstream os;
+  report.write_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"code\":\"PSC101\""), std::string::npos);
+  EXPECT_NE(line.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"big\\\""), std::string::npos);
+  EXPECT_NE(line.find("\"time_ns\":5000"), std::string::npos);
+}
+
+// --- shipped harnesses are conformance-clean --------------------------------
+
+RwRunConfig small_cfg() {
+  RwRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.ops_per_node = 8;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(50);
+  cfg.c = microseconds(40);
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(30);
+  cfg.validate = true;  // static lint at run start — throws on any error
+  return cfg;
+}
+
+TEST(HarnessCleanTest, RwTimedIsCleanOnlineAndOffline) {
+  RwRunConfig cfg = small_cfg();
+  TraceCheckOptions tco;
+  tco.d1 = cfg.d1;
+  tco.d2 = cfg.d2;
+  tco.num_nodes = cfg.num_nodes;
+  InvariantProbe probe(tco);
+  ObsOptions obs;
+  obs.lint = &probe;
+  cfg.obs = &obs;
+  const RwRunResult run = run_rw_timed(cfg);
+  EXPECT_FALSE(probe.report().has_errors()) << probe.report().to_text();
+  const auto offline = check_trace(run.events, tco);
+  EXPECT_FALSE(offline.has_errors()) << offline.to_text();
+}
+
+TEST(HarnessCleanTest, RwClockIsCleanOnlineAndOffline) {
+  RwRunConfig cfg = small_cfg();
+  TraceCheckOptions tco;
+  tco.eps = cfg.eps;
+  tco.d1 = cfg.d1;
+  tco.d2 = cfg.d2;
+  tco.num_nodes = cfg.num_nodes;
+  InvariantProbe probe(tco);
+  ObsOptions obs;
+  obs.lint = &probe;
+  cfg.obs = &obs;
+  ZigzagDrift drift(0.3);
+  const RwRunResult run = run_rw_clock(cfg, drift);
+  EXPECT_FALSE(probe.report().has_errors()) << probe.report().to_text();
+  // Offline replay through a JSONL round-trip: what psc-lint would see.
+  std::ostringstream os;
+  write_trace_jsonl(os, run.events);
+  std::istringstream is(os.str());
+  const auto offline = check_trace(read_trace_jsonl(is), tco);
+  EXPECT_FALSE(offline.has_errors()) << offline.to_text();
+}
+
+TEST(HarnessCleanTest, RwClockScalesClean) {
+  RwRunConfig cfg = small_cfg();
+  cfg.num_nodes = 10;
+  cfg.ops_per_node = 4;
+  TraceCheckOptions tco;
+  tco.eps = cfg.eps;
+  tco.d1 = cfg.d1;
+  tco.d2 = cfg.d2;
+  tco.num_nodes = cfg.num_nodes;
+  ZigzagDrift drift(0.3);
+  const RwRunResult run = run_rw_clock(cfg, drift);
+  const auto offline = check_trace(run.events, tco);
+  EXPECT_FALSE(offline.has_errors()) << offline.to_text();
+}
+
+TEST(HarnessCleanTest, RwMmtIsClean) {
+  RwRunConfig cfg = small_cfg();
+  cfg.ops_per_node = 4;
+  const Duration ell = microseconds(10);
+  TraceCheckOptions tco;
+  tco.eps = cfg.eps;
+  tco.d1 = cfg.d1;
+  tco.d2 = cfg.d2;
+  tco.ell = ell;
+  tco.num_nodes = cfg.num_nodes;
+  InvariantProbe probe(tco);
+  ObsOptions obs;
+  obs.lint = &probe;
+  cfg.obs = &obs;
+  ZigzagDrift drift(0.3);
+  const RwRunResult run = run_rw_mmt(cfg, drift, ell, cfg.num_nodes + 2);
+  EXPECT_FALSE(probe.report().has_errors()) << probe.report().to_text();
+  const auto offline = check_trace(run.events, tco);
+  EXPECT_FALSE(offline.has_errors()) << offline.to_text();
+}
+
+TEST(HarnessCleanTest, QueueClockIsClean) {
+  QueueRunConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.ops_per_node = 6;
+  cfg.d1 = microseconds(20);
+  cfg.d2 = microseconds(300);
+  cfg.eps = microseconds(50);
+  cfg.think_max = microseconds(300);
+  cfg.horizon = seconds(30);
+  cfg.validate = true;
+  TraceCheckOptions tco;
+  tco.eps = cfg.eps;
+  tco.d1 = cfg.d1;
+  tco.d2 = cfg.d2;
+  tco.num_nodes = cfg.num_nodes;
+  ZigzagDrift drift(0.3);
+  const QueueRunResult run = run_queue_clock(cfg, drift);
+  const auto offline = check_trace(run.events, tco);
+  EXPECT_FALSE(offline.has_errors()) << offline.to_text();
+}
+
+}  // namespace
+}  // namespace psc

@@ -1,0 +1,114 @@
+// psc-lint: offline trace invariant checker (Layer 2 of the analyzer).
+//
+// Replays a trace recorded by psc-sim (--trace=..., text or JSONL) against
+// the paper's quantitative predicates — C_eps drift, [d1, d2] delivery,
+// Simulation 1's release rule, Theorem 4.7's widened window, the MMT
+// boundmap, per-node order preservation — and reports PSC1xx diagnostics.
+//
+// Usage:
+//   psc-lint --trace=PATH [--eps_us=N] [--d1_us=N] [--d2_us=N] [--ell_us=N]
+//            [--nodes=N] [--slack_ns=N] [--no-order] [--jsonl=PATH]
+//
+// Checks whose parameters are omitted are skipped, so a timed-model trace
+// can be checked with just --d1_us/--d2_us while a clock-model trace adds
+// --eps_us and --nodes. Exit status: 0 clean (or warnings/notes only),
+// 1 error-severity diagnostics, 2 usage/IO failure.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/trace_check.hpp"
+#include "core/trace_io.hpp"
+#include "util/check.hpp"
+
+using namespace psc;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: psc-lint --trace=PATH [--eps_us=N] [--d1_us=N] [--d2_us=N]\n"
+         "                [--ell_us=N] [--nodes=N] [--slack_ns=N]\n"
+         "                [--no-order] [--jsonl=PATH]\n";
+  return 2;
+}
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int k = 1; k < argc; ++k) {
+    std::string s = argv[k];
+    if (s.rfind("--", 0) != 0) {
+      std::cerr << "bad argument: " << s << "\n";
+      std::exit(usage());
+    }
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      args.insert_or_assign(s.substr(2), std::string("1"));
+    } else {
+      args.insert_or_assign(s.substr(2, eq - 2), s.substr(eq + 1));
+    }
+  }
+  return args;
+}
+
+std::int64_t geti(const std::map<std::string, std::string>& a,
+                  const std::string& key, std::int64_t def) {
+  auto it = a.find(key);
+  return it == a.end() ? def : std::stoll(it->second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  const auto trace_it = args.find("trace");
+  if (trace_it == args.end()) return usage();
+
+  TimedTrace trace;
+  try {
+    std::ifstream in(trace_it->second);
+    if (!in) {
+      std::cerr << "psc-lint: cannot open " << trace_it->second << "\n";
+      return 2;
+    }
+    trace = read_trace_any(in);
+  } catch (const CheckError& e) {
+    std::cerr << "psc-lint: failed to parse " << trace_it->second << ": "
+              << e.what() << "\n";
+    return 2;
+  }
+
+  TraceCheckOptions opts;
+  const std::int64_t eps_us = geti(args, "eps_us", -1);
+  const std::int64_t d1_us = geti(args, "d1_us", -1);
+  const std::int64_t d2_us = geti(args, "d2_us", -1);
+  const std::int64_t ell_us = geti(args, "ell_us", -1);
+  if (eps_us >= 0) opts.eps = microseconds(eps_us);
+  if (d1_us >= 0) opts.d1 = microseconds(d1_us);
+  if (d2_us >= 0) opts.d2 = microseconds(d2_us);
+  if (ell_us >= 0) opts.ell = microseconds(ell_us);
+  opts.num_nodes = static_cast<int>(geti(args, "nodes", 0));
+  opts.slack = geti(args, "slack_ns", opts.slack);
+  if (args.count("no-order") != 0) opts.check_order = false;
+
+  const DiagnosticReport report = check_trace(trace, opts);
+
+  const auto jsonl_it = args.find("jsonl");
+  if (jsonl_it != args.end()) {
+    std::ofstream out(jsonl_it->second);
+    if (!out) {
+      std::cerr << "psc-lint: cannot write " << jsonl_it->second << "\n";
+      return 2;
+    }
+    report.write_jsonl(out);
+  }
+
+  std::cout << "psc-lint: " << trace.size() << " event(s) checked\n";
+  if (report.empty()) {
+    std::cout << "clean: no diagnostics\n";
+    return 0;
+  }
+  std::cout << report.to_text();
+  return report.has_errors() ? 1 : 0;
+}

@@ -30,6 +30,12 @@
 //                        SINK (bare flag: the run's final span), with
 //                        per-edge-kind latency attribution
 //   --exec-stats         print the executor's scheduler self-metrics
+//
+// Conformance (docs/ANALYSIS.md):
+//   --lint               lint the composition before the run (PSC0xx; any
+//                        error aborts) and replay the run online through the
+//                        invariant checker (PSC1xx) with the scenario's own
+//                        eps/d1/d2/ell; errors fail the exit status
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,6 +44,7 @@
 #include <string>
 
 #include "algos/flood.hpp"
+#include "analysis/trace_check.hpp"
 #include "clock/discipline.hpp"
 #include "core/trace_io.hpp"
 #include "mmt/mmt_system.hpp"
@@ -61,9 +68,9 @@ std::map<std::string, std::string> parse_args(int argc, char** argv) {
     }
     const auto eq = s.find('=');
     if (eq == std::string::npos) {
-      args[s.substr(2)] = "1";
+      args.insert_or_assign(s.substr(2), std::string("1"));
     } else {
-      args[s.substr(2, eq - 2)] = s.substr(eq + 1);
+      args.insert_or_assign(s.substr(2, eq - 2), s.substr(eq + 1));
     }
   }
   return args;
@@ -148,6 +155,18 @@ class ObsSetup {
     return opts_.enabled() ? &opts_ : nullptr;
   }
 
+  // Attaches an online invariant checker (analysis/trace_check.hpp) to the
+  // run. Call before handing options() to the harness.
+  void enable_lint(const TraceCheckOptions& opts) {
+    lint_.emplace(opts);
+    opts_.lint = &*lint_;
+  }
+  bool lint_enabled() const { return lint_.has_value(); }
+  // False when the checker reported error-severity diagnostics.
+  bool lint_ok() const {
+    return !lint_.has_value() || !lint_->report().has_errors();
+  }
+
   void finish(const TimedTrace& events, Time end_time,
               const ExecutorReport* report = nullptr) {
     if (opts_.registry != nullptr) {
@@ -168,6 +187,14 @@ class ObsSetup {
     }
     if (opts_.causal != nullptr) finish_causal(end_time);
     if (exec_stats_ && report != nullptr) print_exec_stats(report->stats);
+    if (lint_.has_value()) {
+      const DiagnosticReport& rep = lint_->report();
+      if (rep.empty()) {
+        std::cout << "lint: clean (" << events.size() << " events checked)\n";
+      } else {
+        std::cout << "lint:\n" << rep.to_text();
+      }
+    }
   }
 
  private:
@@ -229,6 +256,7 @@ class ObsSetup {
 
   MetricsRegistry registry_;
   CausalTraceProbe causal_;
+  std::optional<InvariantProbe> lint_;
   std::ofstream chrome_;
   std::string metrics_path_, chrome_path_, causal_path_, critical_sink_;
   bool exec_stats_ = false;
@@ -242,7 +270,13 @@ void maybe_dump(const std::string& path, const TimedTrace& events) {
     std::cerr << "cannot open " << path << "\n";
     std::exit(2);
   }
-  write_trace(os, events);
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    write_trace_jsonl(os, events);
+  } else {
+    write_trace(os, events);
+  }
   std::cout << "trace (" << events.size() << " events) written to " << path
             << "\n";
 }
@@ -262,7 +296,18 @@ int run_register(const std::string& scenario,
   cfg.think_max = microseconds(300);
   cfg.horizon = seconds(60);
   const auto drift = make_drift(gets(args, "drift", "zigzag"));
+  const Duration ell = microseconds(geti(args, "ell_us", 10));
   ObsSetup obs(args);
+  if (args.count("lint") > 0) {
+    cfg.validate = true;
+    TraceCheckOptions lo;
+    lo.d1 = cfg.d1;
+    lo.d2 = cfg.d2;
+    lo.num_nodes = cfg.num_nodes;
+    if (scenario != "rw-timed") lo.eps = cfg.eps;
+    if (scenario == "rw-mmt") lo.ell = ell;
+    obs.enable_lint(lo);
+  }
   cfg.obs = obs.options();
 
   RwRunResult run;
@@ -273,7 +318,6 @@ int run_register(const std::string& scenario,
   } else if (scenario == "rw-sliced") {
     run = run_rw_sliced(cfg, *drift);
   } else {  // rw-mmt
-    const Duration ell = microseconds(geti(args, "ell_us", 10));
     run = run_rw_mmt(cfg, *drift, ell, cfg.num_nodes + 2);
   }
 
@@ -286,6 +330,7 @@ int run_register(const std::string& scenario,
             << " (" << lin.states << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
   obs.finish(run.events, run.end_time, &run.report);
+  if (!obs.lint_ok()) return 1;
   return lin.ok ? 0 : 1;
 }
 
@@ -302,6 +347,15 @@ int run_queue(const std::map<std::string, std::string>& args) {
   cfg.horizon = seconds(60);
   const auto drift = make_drift(gets(args, "drift", "zigzag"));
   ObsSetup obs(args);
+  if (args.count("lint") > 0) {
+    cfg.validate = true;
+    TraceCheckOptions lo;
+    lo.d1 = cfg.d1;
+    lo.d2 = cfg.d2;
+    lo.eps = cfg.eps;
+    lo.num_nodes = cfg.num_nodes;
+    obs.enable_lint(lo);
+  }
   cfg.obs = obs.options();
   const auto run = run_queue_clock(cfg, *drift);
   std::cout << "queue: " << run.ops.size() << " operations, "
@@ -312,6 +366,7 @@ int run_queue(const std::map<std::string, std::string>& args) {
             << " states)\n";
   maybe_dump(gets(args, "trace", ""), run.events);
   obs.finish(run.events, ltime(run.events), &run.report);
+  if (!obs.lint_ok()) return 1;
   return lin.ok ? 0 : 1;
 }
 
@@ -325,8 +380,16 @@ int run_flood(const std::map<std::string, std::string>& args) {
   const Duration margin = microseconds(geti(args, "margin_us", 10));
   const auto seed = static_cast<std::uint64_t>(geti(args, "seed", 1));
   ObsSetup obs(args);
+  const bool lint = args.count("lint") > 0;
+  if (lint) {
+    TraceCheckOptions lo;
+    lo.d1 = d1;
+    lo.d2 = d2;
+    lo.num_nodes = n;
+    obs.enable_lint(lo);
+  }
 
-  Executor exec({.horizon = seconds(60), .seed = seed});
+  Executor exec({.horizon = seconds(60), .seed = seed, .validate = lint});
   const Graph g = Graph::ring(n);
   ChannelConfig cc;
   cc.d1 = d1;
@@ -346,6 +409,7 @@ int run_flood(const std::map<std::string, std::string>& args) {
   std::cout << "flood safety: " << (safe ? "VERIFIED" : "VIOLATED") << "\n";
   maybe_dump(gets(args, "trace", ""), exec.events());
   obs.finish(exec.events(), report.end_time, &report);
+  if (!obs.lint_ok()) return 1;
   return safe ? 0 : 1;
 }
 
