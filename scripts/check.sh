@@ -11,6 +11,9 @@
 #      composition lint + online invariant probe), dump their traces, and
 #      replay them offline through psc-lint — any error-severity PSC
 #      diagnostic fails the lane.
+#   5. psc-report: the CI sweep (configs/rw_sweep_smoke.cfg) with the
+#      bound-slack observatory attached — any cell with negative bound
+#      slack or a linearizability failure makes psc-report exit nonzero.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -48,7 +51,7 @@ cmake -B "$TSAN_DIR" -S . -G Ninja \
 cmake --build "$TSAN_DIR" -j
 
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Executor|Scheduler|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean'
+  -R 'Executor|Scheduler|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean|TimeSeries|BoundSlack|Experiment'
 
 # --- lane 3: clang-tidy ------------------------------------------------------
 
@@ -85,5 +88,15 @@ trap 'rm -rf "$LINT_TMP"' EXIT
   --d1_us=20 --d2_us=300 --eps_us=50 --nodes=3
 "$BUILD_DIR"/tools/psc-lint --trace="$LINT_TMP/queue.jsonl" \
   --d1_us=20 --d2_us=300 --eps_us=50 --nodes=3
+
+# --- lane 5: psc-report sweep smoke ------------------------------------------
+
+cmake --build "$BUILD_DIR" -j --target psc-report
+
+# Every cell runs under the bound-slack observatory; psc-report exits
+# nonzero when any cell observes negative slack (a run escaped a
+# theoretical bound) or fails the linearizability check.
+"$BUILD_DIR"/tools/psc-report --sweep=configs/rw_sweep_smoke.cfg \
+  --markdown="$LINT_TMP/report_rw.md" --json="$LINT_TMP/BENCH_rw.json" --quiet
 
 echo "check.sh: all lanes passed"

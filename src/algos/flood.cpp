@@ -11,16 +11,32 @@ FloodNode::FloodNode(const FloodParams& params)
     : Machine("flood_" + std::to_string(params.node)), params_(params) {
   PSC_CHECK(params_.hops_bound >= 0, "hops_bound");
   PSC_CHECK(params_.d2_design >= 0, "d2_design");
-  if (params_.source) {
-    got_payload_ = true;
-    payload_ = params_.payload;
-    send_targets_ = params_.peers;
-  }
+  PSC_CHECK(params_.waves >= 1, "waves");
+  PSC_CHECK(params_.wave_gap >= 0, "wave_gap");
+}
+
+Time FloodNode::wave_start(int w) const {
+  return static_cast<Time>(w) * params_.wave_gap;
 }
 
 Time FloodNode::complete_at() const {
-  return static_cast<Time>(params_.hops_bound) * params_.d2_design +
+  return wave_start(params_.waves - 1) +
+         static_cast<Time>(params_.hops_bound) * params_.d2_design +
          params_.margin;
+}
+
+bool FloodNode::seen(std::int64_t payload) const {
+  return std::find(seen_.begin(), seen_.end(), payload) != seen_.end();
+}
+
+std::vector<std::int64_t> FloodNode::due_waves(Time now) const {
+  std::vector<std::int64_t> out;
+  if (!params_.source) return out;
+  for (int w = 0; w < params_.waves && wave_start(w) <= now; ++w) {
+    const std::int64_t p = params_.payload + w;
+    if (!seen(p)) out.push_back(p);
+  }
+  return out;
 }
 
 ActionRole FloodNode::classify(const Action& a) const {
@@ -44,22 +60,24 @@ bool FloodNode::declare_signature(SignatureDecl& decl) const {
 
 void FloodNode::apply_input(const Action& a, Time /*now*/) {
   PSC_CHECK(a.msg && a.msg->kind == "FLOOD", "unexpected message");
-  if (got_payload_) return;  // duplicates are ignored (relay-once)
-  got_payload_ = true;
-  payload_ = as_int(a.msg->fields.at(0));
-  send_targets_ = params_.peers;
+  const std::int64_t p = as_int(a.msg->fields.at(0));
+  if (seen(p)) return;  // duplicates are ignored (relay-once per payload)
+  seen_.push_back(p);
+  to_deliver_.push_back(p);
 }
 
 std::vector<Action> FloodNode::enabled(Time now) const {
   std::vector<Action> out;
   const int i = params_.node;
-  if (got_payload_ && !delivered_) {
-    out.push_back(make_action("DELIVER", i, {Value{payload_}}));
+  for (const std::int64_t p : to_deliver_) {
+    out.push_back(make_action("DELIVER", i, {Value{p}}));
   }
-  if (delivered_) {
-    for (int j : send_targets_) {
-      out.push_back(
-          make_send(i, j, make_message("FLOOD", {Value{payload_}})));
+  for (const std::int64_t p : due_waves(now)) {
+    out.push_back(make_action("DELIVER", i, {Value{p}}));
+  }
+  for (const Relay& r : relays_) {
+    for (int j : r.targets) {
+      out.push_back(make_send(i, j, make_message("FLOOD", {Value{r.payload}})));
     }
   }
   if (params_.source && !announced_ && now >= complete_at()) {
@@ -70,12 +88,30 @@ std::vector<Action> FloodNode::enabled(Time now) const {
 
 void FloodNode::apply_local(const Action& a, Time now) {
   if (a.name == "DELIVER") {
-    PSC_CHECK(got_payload_ && !delivered_, "DELIVER out of turn");
-    delivered_ = true;
+    const std::int64_t p = as_int(a.args.at(0));
+    const auto it = std::find(to_deliver_.begin(), to_deliver_.end(), p);
+    if (it != to_deliver_.end()) {
+      to_deliver_.erase(it);
+    } else {
+      // Source origination: the wave's payload is taken up here.
+      const auto due = due_waves(now);
+      PSC_CHECK(std::find(due.begin(), due.end(), p) != due.end(),
+                "DELIVER out of turn");
+      seen_.push_back(p);
+    }
+    ++delivered_;
+    relays_.push_back({p, params_.peers});
   } else if (a.name == "SENDMSG") {
-    auto it = std::find(send_targets_.begin(), send_targets_.end(), a.peer);
-    PSC_CHECK(it != send_targets_.end(), "duplicate relay");
-    send_targets_.erase(it);
+    PSC_CHECK(a.msg.has_value(), "SENDMSG without message");
+    const std::int64_t p = as_int(a.msg->fields.at(0));
+    const auto rit =
+        std::find_if(relays_.begin(), relays_.end(),
+                     [p](const Relay& r) { return r.payload == p; });
+    PSC_CHECK(rit != relays_.end(), "relay of unknown payload");
+    const auto tit = std::find(rit->targets.begin(), rit->targets.end(), a.peer);
+    PSC_CHECK(tit != rit->targets.end(), "duplicate relay");
+    rit->targets.erase(tit);
+    if (rit->targets.empty()) relays_.erase(rit);
   } else if (a.name == "COMPLETE") {
     PSC_CHECK(params_.source && !announced_ && now >= complete_at(),
               "COMPLETE out of turn");
@@ -87,23 +123,39 @@ void FloodNode::apply_local(const Action& a, Time now) {
 
 Time FloodNode::upper_bound(Time now) const {
   Time m = kTimeMax;
-  if ((got_payload_ && !delivered_) || !send_targets_.empty()) {
+  if (!to_deliver_.empty() || !relays_.empty() || !due_waves(now).empty()) {
     m = now;  // deliver/relay urgently
   }
-  if (params_.source && !announced_) m = std::min(m, complete_at());
+  if (params_.source) {
+    // Future wave originations are urgent at their start times.
+    for (int w = 0; w < params_.waves; ++w) {
+      if (wave_start(w) > now && !seen(params_.payload + w)) {
+        m = std::min(m, wave_start(w));
+        break;
+      }
+    }
+    if (!announced_) m = std::min(m, complete_at());
+  }
   return m <= now ? now : m;
 }
 
 Time FloodNode::next_enabled(Time now) const {
-  if (params_.source && !announced_ && complete_at() > now) {
-    return complete_at();
+  Time m = kTimeMax;
+  if (params_.source) {
+    for (int w = 0; w < params_.waves; ++w) {
+      if (wave_start(w) > now && !seen(params_.payload + w)) {
+        m = std::min(m, wave_start(w));
+        break;
+      }
+    }
+    if (!announced_ && complete_at() > now) m = std::min(m, complete_at());
   }
-  return kTimeMax;
+  return m;
 }
 
 std::vector<std::unique_ptr<Machine>> make_flood_nodes(
     const Graph& graph, int source, std::int64_t payload, int hops_bound,
-    Duration d2_design, Duration margin) {
+    Duration d2_design, Duration margin, int waves, Duration wave_gap) {
   std::vector<std::unique_ptr<Machine>> out;
   for (int i = 0; i < graph.n; ++i) {
     FloodParams p;
@@ -114,12 +166,14 @@ std::vector<std::unique_ptr<Machine>> make_flood_nodes(
     p.hops_bound = hops_bound;
     p.d2_design = d2_design;
     p.margin = margin;
+    p.waves = waves;
+    p.wave_gap = wave_gap;
     out.push_back(std::make_unique<FloodNode>(p));
   }
   return out;
 }
 
-bool flood_safe(const TimedTrace& trace, int n) {
+bool flood_safe(const TimedTrace& trace, int n, int waves) {
   Time last_deliver = -1;
   Time first_complete = kTimeMax;
   int delivers = 0;
@@ -131,7 +185,7 @@ bool flood_safe(const TimedTrace& trace, int n) {
       first_complete = std::min(first_complete, e.time);
     }
   }
-  return delivers == n && last_deliver <= first_complete &&
+  return delivers == n * waves && last_deliver <= first_complete &&
          first_complete < kTimeMax;
 }
 

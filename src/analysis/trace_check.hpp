@@ -37,6 +37,7 @@
 #include <unordered_set>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/uid_index.hpp"
 #include "core/trace.hpp"
 #include "obs/probe.hpp"
 
@@ -81,11 +82,14 @@ class TraceChecker {
   };
 
   void check_channel(const TimedEvent& e);
+  // RECVMSG leg of check_channel: physical delivery in the timed model,
+  // buffer release (Lamport condition + Theorem 4.7 window) under Sim 1.
+  void check_recv(const TimedEvent& e, std::uint64_t uid);
   void check_mmt(const TimedEvent& e);
 
   TraceCheckOptions opts_;
   DiagnosticReport report_;
-  std::unordered_map<std::uint64_t, MsgRecord> msgs_;
+  UidIndex<MsgRecord> msgs_;
   std::unordered_map<int, Time> last_tick_;     // node -> last TICK time
   std::unordered_map<int, Time> last_local_;    // owner -> last event time
   std::unordered_set<int> mmt_owners_;          // owners that emitted MMTSTEP
@@ -103,6 +107,9 @@ DiagnosticReport check_trace(const TimedTrace& trace,
 class InvariantProbe final : public Probe {
  public:
   explicit InvariantProbe(TraceCheckOptions opts = {}) : checker_(opts) {}
+
+  // Invariants are checked per event — opt out of the per-advance dispatch.
+  bool observes_time() const override { return false; }
 
   void on_event(const TimedEvent& e, const Machine& /*owner*/) override {
     checker_.observe(e);

@@ -131,7 +131,14 @@ class Machine {
   // The machine's clock reading at real time t, if it is driven by a clock
   // (clock/MMT models); kNoClockTag otherwise. Used for trace metadata (the
   // c_i(alpha) values of Section 4.3) — never for transition decisions.
+  //
+  // Overriders MUST also call set_clocked(true) in their constructor (a
+  // wrapper forwards its inner machine's flag): the executor consults the
+  // non-virtual clocked() on its per-event path and only pays the virtual
+  // clock_reading call for machines that declare a clock — an unclocked
+  // machine's events read kNoClockTag either way.
   virtual Time clock_reading(Time /*t*/) const { return kNoClockTag; }
+  bool clocked() const { return clocked_; }
 
   // Model-level self-description for the composition linter (see
   // ModelTraits). The default — no adapter, no clock, no real-time reads —
@@ -146,8 +153,13 @@ class Machine {
     return nullptr;
   }
 
+ protected:
+  // See clock_reading(): pair with overriding it.
+  void set_clocked(bool v) { clocked_ = v; }
+
  private:
   std::string name_;
+  bool clocked_ = false;
 };
 
 }  // namespace psc

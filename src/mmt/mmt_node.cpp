@@ -16,6 +16,7 @@ MmtNode::MmtNode(int node, std::unique_ptr<Machine> inner, Duration ell,
       min_gap_frac_(min_gap_frac) {
   PSC_CHECK(ell_ > 0, "ell must be positive");
   PSC_CHECK(min_gap_frac_ > 0 && min_gap_frac_ <= 1.0, "min_gap_frac");
+  set_clocked(true);
   next_step_ = draw_gap();
 }
 

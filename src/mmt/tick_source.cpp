@@ -17,6 +17,7 @@ TickSource::TickSource(int node,
   PSC_CHECK(min_gap_frac_ > 0 && min_gap_frac_ <= 1.0,
             "min_gap_frac=" << min_gap_frac_);
   PSC_CHECK(traj_ != nullptr, "null trajectory");
+  set_clocked(true);
   next_tick_ = draw_gap();
 }
 

@@ -73,6 +73,16 @@ MmtProbe* RunObserver::add_mmt() {
   return out;
 }
 
+BoundSlackProbe* RunObserver::add_slack(const SlackOptions& slack_opts) {
+  if (!opts_.slack) return nullptr;
+  MetricsRegistry* reg = sink();
+  if (reg == nullptr) return nullptr;
+  auto p = std::make_unique<BoundSlackProbe>(*reg, slack_opts);
+  slack_probe_ = p.get();
+  probes_.push_back(std::move(p));
+  return slack_probe_;
+}
+
 Probe* RunObserver::add(std::unique_ptr<Probe> probe) {
   Probe* out = probe.get();
   probes_.push_back(std::move(probe));
@@ -93,6 +103,12 @@ void RunObserver::attach(Executor& exec) {
     }
   }
   for (const auto& p : probes_) exec.attach_probe(p.get());
+  if (opts_.timeseries != nullptr) {
+    // Last, so each cadence sample (taken after the metric probes ran for
+    // that instant) and the final on_run_end sample see settled state.
+    if (!ts_probe_) ts_probe_ = std::make_unique<TimeSeriesProbe>(*opts_.timeseries);
+    exec.attach_probe(ts_probe_.get());
+  }
 }
 
 }  // namespace psc

@@ -22,6 +22,7 @@
 
 #include "clock/trajectory.hpp"
 #include "obs/metrics.hpp"
+#include "obs/observatory.hpp"
 #include "obs/probes.hpp"
 #include "obs/trace_export.hpp"
 
@@ -52,10 +53,20 @@ struct ObsOptions {
   // attach() wires it after the causal probe; the caller keeps it to read
   // the diagnostic report after the run.
   InvariantProbe* lint = nullptr;
+  // Enable the bound-slack observatory (obs/observatory.hpp): the harness
+  // calls add_slack() with the model parameters of the assembly it builds,
+  // which is a no-op unless this is set. Off by default so runs that pin
+  // exact registry contents are unaffected.
+  bool slack = false;
+  // Caller-owned windowed time-series sink, sampled on its configured
+  // simulated-time cadence by a probe attach() creates (after every metric
+  // probe, so each boundary snapshot sees that instant's final state). The
+  // caller keeps it to export or inspect the windows after the run.
+  TimeSeries* timeseries = nullptr;
 
   bool enabled() const {
     return registry != nullptr || chrome_out != nullptr || causal != nullptr ||
-           lint != nullptr;
+           lint != nullptr || timeseries != nullptr;
   }
 };
 
@@ -80,6 +91,13 @@ class RunObserver {
   ChannelLatencyProbe* add_channel_latency(Duration d1, Duration d2);
   Sim1BufferProbe* add_buffers();
   MmtProbe* add_mmt();
+  // Bound-slack observatory; no-op (nullptr) unless options.slack is set
+  // and a registry sink exists. The harness passes the model parameters of
+  // the assembly it actually built.
+  BoundSlackProbe* add_slack(const SlackOptions& slack_opts);
+  // The slack probe constructed by add_slack (nullptr when none) — read
+  // min-slack summaries from it after the run.
+  const BoundSlackProbe* slack() const { return slack_probe_; }
   // Any custom probe (takes ownership).
   Probe* add(std::unique_ptr<Probe> probe);
 
@@ -99,6 +117,8 @@ class RunObserver {
   std::unique_ptr<ChromeTraceProbe> chrome_probe_;   // when events_in_trace
   std::unique_ptr<ChromeTraceWriter> bare_writer_;   // counters-only trace
   std::unique_ptr<MetricsRegistry> scratch_;
+  std::unique_ptr<TimeSeriesProbe> ts_probe_;        // when opts_.timeseries
+  BoundSlackProbe* slack_probe_ = nullptr;           // owned via probes_
   std::vector<std::unique_ptr<Probe>> probes_;
 };
 

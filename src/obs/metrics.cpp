@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "util/check.hpp"
@@ -26,6 +27,27 @@ Histogram::Histogram(std::vector<double> bounds)
                 std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                     bounds_.end(),
             "histogram bounds must be strictly increasing");
+  // Recognize the zero-centered doubling ladder slack_bounds() builds
+  // (-lo*2^(m-1) ... -lo, 0, lo ... lo*2^(m-1)): its bucket index is a
+  // function of the sample's binary exponent, which add() computes in a
+  // handful of arithmetic ops instead of a binary search whose serially
+  // dependent loads dominate the probe hot path. Doubling is exact in
+  // floating point, so the equality tests below are not brittle.
+  const std::size_t n = bounds_.size();
+  if (n >= 3 && n % 2 == 1) {
+    const std::size_t m = n / 2;
+    const double lo = bounds_[m + 1];
+    bool ok = bounds_[m] == 0.0 && lo > 0.0 && std::isfinite(bounds_[n - 1]);
+    double expect = lo;
+    for (std::size_t k = 0; ok && k < m; ++k) {
+      ok = bounds_[m + 1 + k] == expect && bounds_[m - 1 - k] == -expect;
+      expect *= 2.0;
+    }
+    if (ok) {
+      pow2_mid_ = m;
+      pow2_inv_lo_ = 1.0 / lo;
+    }
+  }
 }
 
 std::vector<double> Histogram::linear_bounds(double lo, double hi,
@@ -54,18 +76,10 @@ std::vector<double> Histogram::exponential_bounds(double lo, double factor,
   return out;
 }
 
-void Histogram::add(double x) {
-  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x,
-                                   [](double v, double b) { return v <= b; });
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
-  ++n_;
-  sum_ += x;
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 double Histogram::percentile(double p) const {
-  if (n_ == 0) return 0.0;
+  // NaN on empty data, matching Samples::percentile: a zero-sample series
+  // still renders (write_jsonl maps non-finite values to 0).
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
   p = std::clamp(p, 0.0, 100.0);
   const double target = p / 100.0 * static_cast<double>(n_);
   std::uint64_t seen = 0;

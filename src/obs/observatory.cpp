@@ -1,0 +1,281 @@
+#include "obs/observatory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "core/machine.hpp"
+#include "obs/probes.hpp"
+#include "util/check.hpp"
+
+namespace psc {
+
+// --- TimeSeries -------------------------------------------------------------
+
+TimeSeries::TimeSeries(const MetricsRegistry& reg, TimeSeriesOptions opts)
+    : reg_(reg), opts_(opts) {
+  PSC_CHECK(opts_.cadence > 0, "time-series cadence must be positive");
+  PSC_CHECK(opts_.window > 0, "time-series window must be positive");
+}
+
+void TimeSeries::record(const std::string& name, Time t, double v) {
+  auto [it, fresh] = series_.try_emplace(name);
+  if (fresh) order_.push_back(name);
+  Ring& r = it->second;
+  if (r.buf.size() < opts_.window) {
+    r.buf.push_back({t, v});
+    return;
+  }
+  r.buf[r.next] = {t, v};
+  r.next = (r.next + 1) % r.buf.size();
+  ++r.dropped;
+}
+
+void TimeSeries::sample(Time now) {
+  ++samples_;
+  for (MetricId id = 0; id < reg_.size(); ++id) {
+    const std::string& name = reg_.name(id);
+    if (const Counter* c = reg_.find_counter(name)) {
+      record(name, now, static_cast<double>(c->value()));
+    } else if (const Gauge* g = reg_.find_gauge(name)) {
+      record(name, now, g->last());
+    } else if (const Histogram* h = reg_.find_histogram(name)) {
+      record(name + ".count", now, static_cast<double>(h->count()));
+      record(name + ".p50", now, h->percentile(50));
+      record(name + ".p99", now, h->percentile(99));
+    }
+  }
+}
+
+std::vector<TimeSeries::Point> TimeSeries::points(
+    std::string_view series) const {
+  const auto it = series_.find(std::string(series));
+  if (it == series_.end()) return {};
+  const Ring& r = it->second;
+  std::vector<Point> out;
+  out.reserve(r.buf.size());
+  // Oldest first: once the ring is full, `next` is the oldest slot.
+  for (std::size_t k = 0; k < r.buf.size(); ++k) {
+    out.push_back(r.buf[(r.next + k) % r.buf.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TimeSeries::dropped(std::string_view series) const {
+  const auto it = series_.find(std::string(series));
+  return it == series_.end() ? 0 : it->second.dropped;
+}
+
+void TimeSeries::write_jsonl(std::ostream& os) const {
+  for (const std::string& name : order_) {
+    const auto it = series_.find(name);
+    const Ring& r = it->second;
+    os << "{\"type\":\"timeseries\",\"name\":\"" << json_escape(name)
+       << "\",\"cadence_ns\":" << opts_.cadence
+       << ",\"dropped\":" << r.dropped << ",\"points\":[";
+    bool first = true;
+    for (const Point& p : points(name)) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << p.t << ",";
+      if (std::isfinite(p.v)) {
+        os << p.v;
+      } else {
+        os << "null";
+      }
+      os << "]";
+    }
+    os << "]}\n";
+  }
+}
+
+void TimeSeriesProbe::on_run_begin(Time now) {
+  ts_.sample(now);
+  next_ = now + ts_.options().cadence;
+}
+
+void TimeSeriesProbe::on_time_advance(Time /*from*/, Time to) {
+  // State only changes at events, so a sample stamped at the period
+  // boundary is exact even though it is taken after the jump past it.
+  while (next_ <= to) {
+    ts_.sample(next_);
+    next_ += ts_.options().cadence;
+  }
+}
+
+void TimeSeriesProbe::on_run_end(Time now) { ts_.sample(now); }
+
+// --- BoundSlackProbe --------------------------------------------------------
+
+std::vector<double> slack_bounds() {
+  const std::vector<double> pos = duration_bounds();
+  std::vector<double> out;
+  out.reserve(2 * pos.size() + 1);
+  for (auto it = pos.rbegin(); it != pos.rend(); ++it) out.push_back(-*it);
+  out.push_back(0.0);
+  out.insert(out.end(), pos.begin(), pos.end());
+  return out;
+}
+
+BoundSlackProbe::BoundSlackProbe(MetricsRegistry& reg, SlackOptions opts)
+    : reg_(reg), opts_(opts) {
+  if (opts_.eps >= 0) {
+    ceps_ = ceps_window(opts_.eps, opts_.ell);
+    ceps_hist_ = &reg_.histogram("slack.ceps_ns", slack_bounds());
+  }
+  if (opts_.d2 >= 0) {
+    delivery_ = delivery_window(opts_.d1, opts_.d2);
+    delivery_hist_ = &reg_.histogram("slack.delivery_ns", slack_bounds());
+    if (opts_.eps >= 0) {
+      thm47_ = thm47_window(opts_.d1, opts_.d2, opts_.eps);
+      thm47_hist_ = &reg_.histogram("slack.thm47_ns", slack_bounds());
+    }
+  }
+  if (opts_.ell >= 0) {
+    mmt_ = mmt_window(opts_.ell);
+    mmt_hist_ = &reg_.histogram("slack.mmt_ns", slack_bounds());
+  }
+  violations_ = &reg_.counter("slack.violations");
+}
+
+Duration BoundSlackProbe::min_slack() const {
+  return std::min(std::min(min_ceps_, min_delivery_),
+                  std::min(min_thm47_, min_mmt_));
+}
+
+void BoundSlackProbe::feed(Histogram* hist, Duration* min_seen,
+                           Duration slack) {
+  hist->add(static_cast<double>(slack));
+  if (slack < *min_seen) *min_seen = slack;
+  if (slack < 0) violations_->add();
+}
+
+Gauge* BoundSlackProbe::node_gauge(std::unordered_map<int, Gauge*>& cache,
+                                   const char* prefix, int node) {
+  auto [it, fresh] = cache.try_emplace(node, nullptr);
+  if (fresh) {
+    it->second =
+        &reg_.gauge(std::string(prefix) + ".node" + std::to_string(node));
+  }
+  return it->second;
+}
+
+Gauge* BoundSlackProbe::channel_gauge(const Machine& owner) {
+  auto [it, fresh] = channel_gauges_.try_emplace(&owner, nullptr);
+  if (fresh) {
+    it->second = &reg_.gauge("slack.delivery_ns." + owner.name());
+  }
+  return it->second;
+}
+
+void BoundSlackProbe::on_event(const TimedEvent& e, const Machine& owner) {
+  if (ceps_hist_) feed_ceps(e);
+  if (delivery_hist_) feed_channel(e, owner);
+  if (mmt_hist_) feed_mmt(e);
+}
+
+void BoundSlackProbe::feed_ceps(const TimedEvent& e) {
+  // PSC101's quantity: the signed skew c(t) - t must sit in the C_eps band
+  // (widened by ell under MMT, where the visible clock is the last tick).
+  if (e.clock == kNoClockTag) return;
+  const Duration slack = ceps_.slack(e.clock - e.time);
+  feed(ceps_hist_, &min_ceps_, slack);
+  if (opts_.per_node && e.action.node != kNoNode) {
+    node_gauge(ceps_gauges_, "slack.ceps_ns", e.action.node)
+        ->set(static_cast<double>(slack));
+  }
+}
+
+void BoundSlackProbe::feed_channel(const TimedEvent& e, const Machine& owner) {
+  const Action& a = e.action;
+  if (!a.msg.has_value()) return;
+  const std::uint64_t uid = a.msg->uid;
+  const std::string& nm = a.name;
+
+  // Same (length, lead byte) pre-dispatch as TraceChecker::check_channel:
+  // the probe runs on every message event and is held to the <5% ns/event
+  // overhead budget (bench_executor's PSC_OBS arm).
+  if (nm.size() == 7) {
+    if (nm[0] == 'S' && nm == "SENDMSG") {
+      msgs_[uid].send_time = e.time;
+    } else if (nm[0] == 'R' && nm == "RECVMSG") {
+      feed_recv(e, owner, uid);
+    }
+    return;
+  }
+  if (nm.size() != 8 || nm[0] != 'E') return;
+
+  if (nm[1] == 'S' && nm == "ESENDMSG") {
+    MsgRecord& r = msgs_[uid];
+    r.esend_time = e.time;
+    if (a.msg->clock_tag != kNoClockTag) r.tag = a.msg->clock_tag;
+    return;
+  }
+
+  if (nm[1] == 'R' && nm == "ERECVMSG") {
+    MsgRecord* rec = msgs_.find(uid);
+    if (rec == nullptr || rec->esend_time < 0) return;
+    if (a.msg->clock_tag != kNoClockTag) rec->tag = a.msg->clock_tag;
+    // Simulation 1 physical delivery: latency slack against [d1, d2].
+    const Duration slack = delivery_.slack(e.time - rec->esend_time);
+    feed(delivery_hist_, &min_delivery_, slack);
+    if (opts_.per_channel) {
+      channel_gauge(owner)->set(static_cast<double>(slack));
+    }
+  }
+}
+
+void BoundSlackProbe::feed_recv(const TimedEvent& e, const Machine& owner,
+                                std::uint64_t uid) {
+  const Action& a = e.action;
+  const MsgRecord* rec = msgs_.find(uid);
+  if (rec == nullptr) return;
+  const MsgRecord& r = *rec;
+  if (r.esend_time < 0) {
+    // Timed model: RECVMSG is the physical delivery.
+    if (r.send_time < 0) return;
+    const Duration slack = delivery_.slack(e.time - r.send_time);
+    feed(delivery_hist_, &min_delivery_, slack);
+    if (opts_.per_channel) {
+      channel_gauge(owner)->set(static_cast<double>(slack));
+    }
+    return;
+  }
+  // Simulation 1 buffer release: Theorem 4.7's clock-time latency window.
+  if (thm47_hist_ && r.tag != kNoClockTag && e.clock != kNoClockTag) {
+    const Duration slack = thm47_.slack(e.clock - r.tag);
+    feed(thm47_hist_, &min_thm47_, slack);
+    if (opts_.per_node && a.node != kNoNode) {
+      node_gauge(thm47_gauges_, "slack.thm47_ns", a.node)
+          ->set(static_cast<double>(slack));
+    }
+  }
+}
+
+void BoundSlackProbe::feed_mmt(const TimedEvent& e) {
+  // Boundmap slack is one-sided: [0, ell]'s lower edge is trivially
+  // satisfied by any gap (a *small* gap is eagerness, not tightness), so
+  // only the distance to the deadline ell counts.
+  if (e.action.name == "TICK" && e.action.node != kNoNode) {
+    const auto it = last_tick_.find(e.action.node);
+    const Time prev = it == last_tick_.end() ? 0 : it->second;
+    const Duration slack = mmt_.hi - (e.time - prev);
+    feed(mmt_hist_, &min_mmt_, slack);
+    if (opts_.per_node) {
+      node_gauge(mmt_gauges_, "slack.mmt_ns", e.action.node)
+          ->set(static_cast<double>(slack));
+    }
+    last_tick_[e.action.node] = e.time;
+  }
+  if (e.owner >= 0) {
+    if (e.action.name == "MMTSTEP") mmt_owners_.insert(e.owner);
+    if (mmt_owners_.count(e.owner) != 0) {
+      const auto it = last_local_.find(e.owner);
+      const Time prev = it == last_local_.end() ? 0 : it->second;
+      feed(mmt_hist_, &min_mmt_, mmt_.hi - (e.time - prev));
+    }
+    last_local_[e.owner] = e.time;
+  }
+}
+
+}  // namespace psc

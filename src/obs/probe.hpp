@@ -30,6 +30,23 @@ class Probe {
   Probe(const Probe&) = delete;
   Probe& operator=(const Probe&) = delete;
 
+  // Dispatch hints, read once per Executor::run(): a probe that never
+  // overrides on_event (resp. on_time_advance) returns false so the
+  // executor's per-event (resp. per-advance) loop skips the virtual call
+  // to the empty default entirely. Purely an optimization — returning
+  // true and ignoring the callback is always correct.
+  virtual bool observes_events() const { return true; }
+  virtual bool observes_time() const { return true; }
+
+  // Earliest time this probe needs its next on_time_advance, re-read after
+  // every delivered advance. The default (0, i.e. "immediately") delivers
+  // every time-passage step. A cadence-driven probe (TimeSeriesProbe)
+  // returns its next sample boundary instead, and the executor skips the
+  // virtual dispatch for the advances in between — the probe then sees
+  // only the advance that crosses the boundary, which is the only one it
+  // would have acted on anyway.
+  virtual Time next_time_interest() const { return 0; }
+
   // Called once when Executor::run() starts (now = current time, usually 0).
   virtual void on_run_begin(Time /*now*/) {}
 

@@ -11,6 +11,7 @@ ClockedMachine::ClockedMachine(std::unique_ptr<Machine> inner,
       traj_(std::move(traj)) {
   PSC_CHECK(inner_ != nullptr, "null inner machine");
   PSC_CHECK(traj_ != nullptr, "null trajectory");
+  set_clocked(true);
 }
 
 ActionRole ClockedMachine::classify(const Action& a) const {

@@ -224,23 +224,33 @@ std::pair<std::size_t, std::size_t> Executor::locate_candidate(
   return {0, 0};
 }
 
-void Executor::record_event(const Action& a, std::size_t machine,
+void Executor::record_event(TimedEvent& e, std::size_t machine,
                             ActionRole role, bool visible) {
-  TimedEvent e;
-  e.action = a;
+  Machine* owner = machines_[machine];
   e.time = now_;
-  e.clock = machines_[machine]->clock_reading(now_);
+  // clocked() is a non-virtual flag: unclocked machines (the common case
+  // in timed-model runs) skip the virtual clock_reading dispatch and the
+  // result is identical — their override-free reading is kNoClockTag.
+  e.clock = owner->clocked() ? owner->clock_reading(now_) : kNoClockTag;
   e.owner = static_cast<int>(machine);
   e.visible = visible && role == ActionRole::kOutput;
-  for (Probe* p : probes_) p->on_event(e, *machines_[machine]);
+  for (Probe* p : event_probes_) p->on_event(e, *owner);
   if (options_.record_events) events_.push_back(std::move(e));
 }
 
 void Executor::execute_fast(std::size_t machine, std::size_t offset) {
   Sched& s = sched_[machine];
   // The machine is re-polled before the next pick, so the cached entry can
-  // be consumed in place.
-  const Action a = std::move(s.cands[offset]);
+  // be consumed in place. It is consumed directly into the TimedEvent
+  // unconditionally: the move trades places with the candidate slot's own
+  // destructor (total teardown work is conserved) and measures at noise
+  // level on the probe-free path, while a conditional alias of the action
+  // defeats alias analysis and costs real time on the observed path.
+  // record_event then only fills in scalar fields, so attaching a probe
+  // adds no Action move (let alone a deep copy) to the per-event path.
+  TimedEvent ev;
+  ev.action = std::move(s.cands[offset]);
+  const Action& a = ev.action;
   Machine* owner = machines_[machine];
   const ActionKindId kid = intern(a);
   KindInfo& k = kinds_[static_cast<std::size_t>(kid)];
@@ -308,8 +318,8 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
     }
   }
 
-  if (options_.record_events || !probes_.empty()) {
-    record_event(a, machine, role, !k.hidden);
+  if (options_.record_events || !event_probes_.empty()) {
+    record_event(ev, machine, role, !k.hidden);
   }
   ++steps_;
   ++stats_.events;
@@ -345,7 +355,7 @@ bool Executor::advance_time_sched() {
   const Time prev = now_;
   now_ = next;
   ++stats_.time_advances;
-  for (Probe* p : probes_) p->on_time_advance(prev, now_);
+  if (now_ >= time_probe_wake_) notify_time_probes(prev);
   // Wake everything whose hint has come due; woken machines are re-polled
   // at the new now before the next pick.
   while (!ne_heap_.empty() && ne_heap_.front().t <= now_) {
@@ -417,8 +427,10 @@ void Executor::execute(const Candidate& c) {
       if (r == ActionRole::kInput) other->apply_input(c.action, now_);
     }
   }
-  if (options_.record_events || !probes_.empty()) {
-    record_event(c.action, c.machine, role,
+  if (options_.record_events || !event_probes_.empty()) {
+    TimedEvent ev;
+    ev.action = c.action;  // the legacy loop keeps its candidate list intact
+    record_event(ev, c.machine, role,
                  hidden_.find(c.action.name) == hidden_.end());
   }
   ++steps_;
@@ -456,7 +468,7 @@ bool Executor::advance_time() {
   const Time prev = now_;
   now_ = next;
   ++stats_.time_advances;
-  for (Probe* p : probes_) p->on_time_advance(prev, now_);
+  if (now_ >= time_probe_wake_) notify_time_probes(prev);
   return true;
 }
 
@@ -487,12 +499,35 @@ bool env_validate_enabled() {
 }
 }  // namespace
 
+void Executor::notify_time_probes(Time prev) {
+  // Deliver the advance, then re-arm the wake from each probe's declared
+  // next interest (0 = every advance, so default probes are never skipped).
+  time_probe_wake_ = kTimeMax;
+  for (Probe* p : time_probes_) {
+    p->on_time_advance(prev, now_);
+    time_probe_wake_ = std::min(time_probe_wake_, p->next_time_interest());
+  }
+}
+
 ExecutorReport Executor::run() {
   if (options_.validate || env_validate_enabled()) {
     const DiagnosticReport rep = validate_composition();
     PSC_CHECK(!rep.has_errors(),
               "composition lint failed:\n" << rep.to_text());
   }
+  // Split probes_ by the observes_* hints once per run, so the per-event
+  // and per-advance loops only make virtual calls that do something (a
+  // TimeSeriesProbe never sees events, a BoundSlackProbe never sees time
+  // passage — paying an empty virtual call per event for each would cost
+  // a measurable slice of the probe overhead budget).
+  event_probes_.clear();
+  time_probes_.clear();
+  for (Probe* p : probes_) {
+    if (p->observes_events()) event_probes_.push_back(p);
+    if (p->observes_time()) time_probes_.push_back(p);
+  }
+  // First advance always notifies (and learns each probe's real wake).
+  time_probe_wake_ = time_probes_.empty() ? kTimeMax : 0;
   for (Probe* p : probes_) p->on_run_begin(now_);
   if (options_.legacy_scan) {
     run_loop_legacy();

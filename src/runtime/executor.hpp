@@ -227,13 +227,20 @@ class Executor {
   void run_loop_sched();
   bool advance_time_sched();
   void execute_fast(std::size_t machine, std::size_t offset);
-  void record_event(const Action& a, std::size_t machine, ActionRole role,
+  // Finishes an event the caller already owns: fills in the scalar fields
+  // (time, clock, owner, visibility), notifies probes, and appends it to
+  // the trace when recording. The action is never moved or copied here —
+  // execute_fast consumes its candidate directly into the TimedEvent — so
+  // attaching a probe adds no per-event Action traffic.
+  void record_event(TimedEvent& e, std::size_t machine, ActionRole role,
                     bool visible);
 
   // --- legacy polling loop (ExecutorOptions::legacy_scan) -----------------
 
   std::vector<Candidate> gather_enabled() const;
   void execute(const Candidate& c);
+  // Delivers on_time_advance to time_probes_ and re-arms time_probe_wake_.
+  void notify_time_probes(Time prev);
   // Returns false when no further progress is possible before the horizon.
   bool advance_time();
   void run_loop_legacy();
@@ -241,6 +248,14 @@ class Executor {
   ExecutorOptions options_;
   Rng rng_;
   std::vector<Probe*> probes_;
+  // probes_ filtered by the observes_events()/observes_time() hints,
+  // rebuilt at each run() start: the per-event and per-advance loops
+  // dispatch only to probes that implement that hook.
+  std::vector<Probe*> event_probes_;
+  std::vector<Probe*> time_probes_;
+  // Earliest next_time_interest() across time_probes_; advances that stop
+  // short of it skip probe notification entirely (kTimeMax = no probes).
+  Time time_probe_wake_ = kTimeMax;
   std::vector<Machine*> machines_;
   std::vector<std::unique_ptr<Machine>> owned_;
   std::unordered_set<std::string> hidden_;

@@ -9,6 +9,7 @@ RenamedMachine::RenamedMachine(std::unique_ptr<Machine> inner,
     : Machine("ren(" + inner->name() + ")"),
       inner_(std::move(inner)),
       outer_of_inner_(std::move(outer_of_inner)) {
+  set_clocked(inner_->clocked());
   for (const auto& [in, out] : outer_of_inner_) {
     const auto [it, fresh] = inner_of_outer_.emplace(out, in);
     PSC_CHECK(fresh, "renaming is not injective: two inner names map to "

@@ -48,13 +48,22 @@ std::vector<std::shared_ptr<const ClockTrajectory>> make_trajectories(
   return out;
 }
 
-RwRunResult finish(Executor& exec, const std::vector<RwClient*>& clients) {
+RwRunResult finish(Executor& exec, const std::vector<RwClient*>& clients,
+                   const RunObserver& observer) {
   const auto report = exec.run();
   RwRunResult result;
   result.ops = collect_operations(clients);
   result.events = exec.events();
   result.end_time = report.end_time;
   result.report = report;
+  if (const BoundSlackProbe* sp = observer.slack()) {
+    result.min_slack_ceps = sp->min_ceps();
+    result.min_slack_delivery = sp->min_delivery();
+    result.min_slack_thm47 = sp->min_thm47();
+    result.min_slack_mmt = sp->min_mmt();
+    result.min_slack = sp->min_slack();
+    result.slack_violations = sp->violations();
+  }
   return result;
 }
 
@@ -100,8 +109,10 @@ RwRunResult run_rw_timed(const RwRunConfig& cfg) {
                    make_rw_algorithms(cfg.num_nodes, algo_params(cfg, cfg.d2)));
   RunObserver observer(cfg.obs);
   observer.add_channel_latency(cfg.d1, cfg.d2);
+  // No clocks in the timed model: delivery slack only.
+  observer.add_slack({.d1 = cfg.d1, .d2 = cfg.d2});
   observer.attach(exec);
-  return finish(exec, clients);
+  return finish(exec, clients, observer);
 }
 
 RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
@@ -118,6 +129,7 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
   RunObserver observer(cfg.obs);
   observer.add_clock_skew(trajs, cfg.eps);
   observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.add_slack({.eps = cfg.eps, .d1 = cfg.d1, .d2 = cfg.d2});
   Sim1BufferProbe* bp = observer.add_buffers();
   CausalTraceProbe* cp = cfg.obs != nullptr ? cfg.obs->causal : nullptr;
   if (bp != nullptr || cp != nullptr) {
@@ -127,7 +139,7 @@ RwRunResult run_rw_clock(const RwRunConfig& cfg, const DriftModel& drift) {
     }
   }
   observer.attach(exec);
-  auto result = finish(exec, clients);
+  auto result = finish(exec, clients, observer);
   result.trajectories = std::move(trajs);
   for (auto* node : handles.nodes) {
     auto& comp = dynamic_cast<CompositeMachine&>(node->inner());
@@ -173,8 +185,9 @@ RwRunResult run_rw_sliced(const RwRunConfig& cfg, const DriftModel& drift) {
   RunObserver observer(cfg.obs);
   observer.add_clock_skew(trajs, cfg.eps);
   observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.add_slack({.eps = cfg.eps, .d1 = cfg.d1, .d2 = cfg.d2});
   observer.attach(exec);
-  auto result = finish(exec, clients);
+  auto result = finish(exec, clients, observer);
   result.trajectories = std::move(trajs);
   return result;
 }
@@ -207,8 +220,9 @@ RwRunResult run_rw_mmt(const RwRunConfig& cfg, const DriftModel& drift,
   if (MmtProbe* mp = observer.add_mmt()) {
     for (const auto* node : handles.nodes) mp->watch(node);
   }
+  observer.add_slack({.eps = cfg.eps, .d1 = cfg.d1, .d2 = cfg.d2, .ell = ell});
   observer.attach(exec);
-  auto result = finish(exec, clients);
+  auto result = finish(exec, clients, observer);
   result.trajectories = std::move(trajs);
   return result;
 }
@@ -238,8 +252,9 @@ RwRunResult run_rw_clock_nobuffer(const RwRunConfig& cfg,
   RunObserver observer(cfg.obs);
   observer.add_clock_skew(trajs, cfg.eps);
   observer.add_channel_latency(cfg.d1, cfg.d2);
+  observer.add_slack({.eps = cfg.eps, .d1 = cfg.d1, .d2 = cfg.d2});
   observer.attach(exec);
-  auto result = finish(exec, clients);
+  auto result = finish(exec, clients, observer);
   result.trajectories = std::move(trajs);
   return result;
 }

@@ -14,6 +14,7 @@
 // operations plus the full event log for trace-level analyses.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,16 @@ struct RwRunResult {
   // Node clock trajectories (clock/MMT-model runs only) — needed by the
   // Theorem 4.6 gamma_alpha analyses.
   std::vector<std::shared_ptr<const ClockTrajectory>> trajectories;
+  // Bound-slack observatory summary (obs/observatory.hpp), populated only
+  // when cfg.obs has `slack` set and a registry: minimum signed distance to
+  // each governing bound over the whole run (kTimeMax = not measured) and
+  // the count of negative-slack samples (bound violations).
+  Duration min_slack_ceps = kTimeMax;
+  Duration min_slack_delivery = kTimeMax;
+  Duration min_slack_thm47 = kTimeMax;
+  Duration min_slack_mmt = kTimeMax;
+  Duration min_slack = kTimeMax;  // min over the four kinds
+  std::uint64_t slack_violations = 0;
 };
 
 // Timed model. The algorithm's design bound d2' equals the physical d2.

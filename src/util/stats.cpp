@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -81,8 +82,10 @@ double Samples::mean() const {
 }
 
 double Samples::percentile(double p) const {
-  PSC_CHECK(!xs_.empty(), "percentile of empty samples");
   PSC_CHECK(p >= 0 && p <= 100, "p=" << p);
+  // Empty data degrades to NaN rather than aborting: a zero-sample sweep
+  // cell must still render its report row (the exporters map NaN to null).
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
   sort_if_needed();
   if (xs_.size() == 1) return xs_[0];
   const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);

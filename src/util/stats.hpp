@@ -37,7 +37,8 @@ class Samples {
   double min() const;
   double max() const;
   double mean() const;
-  // p in [0, 100]; nearest-rank.
+  // p in [0, 100]; nearest-rank. NaN on empty data (report generation on a
+  // zero-sample cell must degrade gracefully, not abort).
   double percentile(double p) const;
   const std::vector<double>& raw() const { return xs_; }
 

@@ -125,6 +125,49 @@ TEST(FloodTest, DuplicateSuppression) {
   EXPECT_EQ(project_name(trace, "SENDMSG").size(), 12u);
 }
 
+TEST(FloodTest, MultiWaveDeliversEveryWaveEverywhere) {
+  // 3 waves over a 6-ring: 18 DELIVERs, all before the single COMPLETE.
+  const Graph g = Graph::ring(6);
+  const Duration d2 = microseconds(100);
+  Executor exec({.horizon = seconds(10), .seed = 7});
+  ChannelConfig cc;
+  cc.d1 = d2 / 4;
+  cc.d2 = d2;
+  cc.seed = 7;
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, 0, 0xf100d, /*hops_bound=*/5, d2, 1,
+                                    /*waves=*/3, /*wave_gap=*/d2));
+  exec.run();
+  const auto trace = exec.events();
+  EXPECT_TRUE(flood_safe(trace, 6, 3));
+  EXPECT_EQ(project_name(trace, "DELIVER").size(), 18u);
+  EXPECT_EQ(project_name(trace, "COMPLETE").size(), 1u);
+}
+
+TEST(FloodTest, SingleWaveTraceUnchangedByWavesKnob) {
+  // waves = 1 must be byte-identical to the pre-knob algorithm; pin the
+  // invariants the scheduler_test pinning relies on.
+  const Graph g = Graph::ring(5);
+  const Duration d2 = microseconds(100);
+  const auto a = run_flood_timed(g, 0, 4, d2, d2, 1, 13);
+  Executor exec({.horizon = seconds(10), .seed = 13});
+  ChannelConfig cc;
+  cc.d1 = d2 / 4;
+  cc.d2 = d2;
+  cc.seed = 13;
+  add_timed_system(exec, g, cc,
+                   make_flood_nodes(g, 0, 0xf100d, 4, d2, 1, /*waves=*/1,
+                                    /*wave_gap=*/milliseconds(5)));
+  exec.run();
+  const auto b = exec.events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].time, b[k].time) << "event " << k;
+    EXPECT_EQ(a[k].action.name, b[k].action.name) << "event " << k;
+    EXPECT_EQ(a[k].action.node, b[k].action.node) << "event " << k;
+  }
+}
+
 TEST(FloodTest, SafetyCheckerRejectsMissingDeliveries) {
   TimedTrace tr;
   TimedEvent e;

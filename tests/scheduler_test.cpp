@@ -13,6 +13,8 @@
 
 #include "algos/flood.hpp"
 #include "core/trace_io.hpp"
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/system.hpp"
@@ -143,6 +145,48 @@ TEST(SchedulerEquivalence, RwMmtTracesMatchLegacy) {
   const auto a = run_rw_mmt(rw_cfg(42, false), drift, microseconds(10), 5);
   const auto b = run_rw_mmt(rw_cfg(42, true), drift, microseconds(10), 5);
   EXPECT_EQ(normalized(a.events), normalized(b.events));
+}
+
+// The bound-slack observatory is part of the schedulers' observability
+// contract: for the same seed the calendar scheduler and the legacy polling
+// loop must report identical min-slack summaries, not just identical traces.
+TEST(SchedulerEquivalence, SlackSummariesMatchLegacy) {
+  MetricsRegistry reg_new, reg_old;
+  ObsOptions oo_new, oo_old;
+  oo_new.registry = &reg_new;
+  oo_new.slack = true;
+  oo_old.registry = &reg_old;
+  oo_old.slack = true;
+
+  RwRunConfig cfg_new = rw_cfg(42, false);
+  cfg_new.obs = &oo_new;
+  RwRunConfig cfg_old = rw_cfg(42, true);
+  cfg_old.obs = &oo_old;
+
+  ZigzagDrift da(0.3), db(0.3);
+  const auto a = run_rw_clock(cfg_new, da);
+  const auto b = run_rw_clock(cfg_old, db);
+
+  ASSERT_LT(a.min_slack, kTimeMax);  // the observatory measured something
+  EXPECT_GE(a.min_slack, 0);
+  EXPECT_EQ(a.min_slack, b.min_slack);
+  EXPECT_EQ(a.min_slack_ceps, b.min_slack_ceps);
+  EXPECT_EQ(a.min_slack_delivery, b.min_slack_delivery);
+  EXPECT_EQ(a.min_slack_thm47, b.min_slack_thm47);
+  EXPECT_EQ(a.min_slack_mmt, b.min_slack_mmt);
+  EXPECT_EQ(a.slack_violations, b.slack_violations);
+
+  // The aggregate histograms agree sample-for-sample, too.
+  for (const char* name :
+       {"slack.ceps_ns", "slack.delivery_ns", "slack.thm47_ns"}) {
+    const Histogram* ha = reg_new.find_histogram(name);
+    const Histogram* hb = reg_old.find_histogram(name);
+    ASSERT_NE(ha, nullptr) << name;
+    ASSERT_NE(hb, nullptr) << name;
+    EXPECT_EQ(ha->count(), hb->count()) << name;
+    EXPECT_EQ(ha->sum(), hb->sum()) << name;
+    EXPECT_EQ(ha->buckets(), hb->buckets()) << name;
+  }
 }
 
 TEST(SchedulerEquivalence, QueueClockTracesMatchLegacy) {

@@ -1,0 +1,115 @@
+// psc-report — parameter-sweep experiment runner and cost-table renderer.
+//
+//   psc-report --sweep=CONFIG [--markdown=PATH] [--json=PATH]
+//              [--update=PATH] [--quiet]
+//
+// Runs the sweep described by CONFIG (see obs/experiment.hpp for the
+// format), prints the Section 6.3 cost table as Markdown (or writes it to
+// --markdown), writes per-cell JSONL rows to --json (BENCH_rw.json), and
+// with --update splices the table between the `<!-- psc-report:begin -->`
+// and `<!-- psc-report:end -->` markers of an existing Markdown document
+// (how EXPERIMENTS.md's committed table is regenerated).
+//
+// Exit status: 0 on success; 1 when any cell observed negative bound slack
+// (a run got *outside* a theoretical bound) or failed linearizability —
+// the CI gate.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/experiment.hpp"
+#include "util/check.hpp"
+
+using namespace psc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --sweep=CONFIG [--markdown=PATH] [--json=PATH] "
+               "[--update=PATH] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sweep_path, markdown_path, json_path, update_path;
+  bool quiet = false;
+  for (int k = 1; k < argc; ++k) {
+    const std::string s = argv[k];
+    const auto val = [&s](const char* key) -> std::string {
+      const std::string prefix = std::string("--") + key + "=";
+      return s.rfind(prefix, 0) == 0 ? s.substr(prefix.size()) : "";
+    };
+    if (!val("sweep").empty()) {
+      sweep_path = val("sweep");
+    } else if (!val("markdown").empty()) {
+      markdown_path = val("markdown");
+    } else if (!val("json").empty()) {
+      json_path = val("json");
+    } else if (!val("update").empty()) {
+      update_path = val("update");
+    } else if (s == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (sweep_path.empty()) return usage(argv[0]);
+
+  try {
+    const SweepConfig cfg = load_sweep_config(sweep_path);
+    const SweepResult result = run_sweep(cfg);
+
+    std::ostringstream table;
+    write_markdown(result, table);
+
+    if (!markdown_path.empty()) {
+      std::ofstream os(markdown_path);
+      PSC_CHECK(os.good(), "cannot open " << markdown_path);
+      os << table.str();
+    }
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      PSC_CHECK(os.good(), "cannot open " << json_path);
+      write_json(result, os);
+    }
+    if (!update_path.empty()) {
+      std::ifstream is(update_path);
+      PSC_CHECK(is.good(), "cannot open " << update_path);
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      is.close();
+      const std::string updated = update_markdown_region(buf.str(), table.str());
+      std::ofstream os(update_path);
+      PSC_CHECK(os.good(), "cannot rewrite " << update_path);
+      os << updated;
+    }
+    if (!quiet) std::cout << table.str();
+
+    if (result.has_negative_slack()) {
+      std::cerr << "psc-report: FAIL — negative bound slack observed ("
+                << result.min_slack() << " ns): some run escaped a "
+                << "theoretical bound\n";
+      return 1;
+    }
+    if (!result.all_linearizable()) {
+      std::cerr << "psc-report: FAIL — a sweep cell is not linearizable\n";
+      return 1;
+    }
+    if (!quiet) {
+      std::cerr << "psc-report: OK — " << result.cells.size()
+                << " cells, min slack "
+                << (result.min_slack() < kTimeMax
+                        ? std::to_string(result.min_slack()) + " ns"
+                        : std::string("n/a"))
+                << "\n";
+    }
+  } catch (const CheckError& e) {
+    std::cerr << "psc-report: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
