@@ -17,6 +17,12 @@
 #   PSC_LINT=1   bench_executor adds a third arm per config — the scheduler
 #                loop with the online invariant probe attached — and gates
 #                its overhead < 5% ns/event on configs >= 128 machines.
+#
+# Sweep size (see docs/EXECUTOR.md "Memory layout & timing wheel"):
+#   PSC_BENCH_MAX_MACHINES=N   caps the flood 1k->1M machine sweep at N
+#                              registered machines (default 1048576; CI
+#                              uses 65536; 0 skips the sweep). The wheel
+#                              flatness gate needs N >= 65536.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -35,6 +35,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Smoke the perf bench under the sanitizers (tiny sweep, no timing claims):
 # catches memory errors on the scheduler hot path that tests may not reach.
+# The smoke run includes the capped flood sweep, so the timing wheel's
+# cascade/compaction paths execute under ASan+UBSan at 1k+ machines.
 "$BUILD_DIR"/bench/bench_executor --smoke
 
 # --- lane 2: ThreadSanitizer -------------------------------------------------
@@ -51,7 +53,7 @@ cmake -B "$TSAN_DIR" -S . -G Ninja \
 cmake --build "$TSAN_DIR" -j
 
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Executor|Scheduler|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean|TimeSeries|BoundSlack|Experiment'
+  -R 'Executor|Scheduler|Wheel|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean|TimeSeries|BoundSlack|Experiment'
 
 # --- lane 3: clang-tidy ------------------------------------------------------
 

@@ -86,6 +86,57 @@ std::vector<Action> FloodNode::enabled(Time now) const {
   return out;
 }
 
+void FloodNode::enabled_into(Time now, std::vector<Action>& out) const {
+  // Same sequence as enabled(), built into recycled slots. All the action
+  // and message names here fit in std::string's inline buffer and the args /
+  // payload vectors are resized in place, so a node's steady-state re-poll
+  // allocates nothing. SENDMSG slots still draw a fresh uid per enumeration,
+  // exactly like make_message: uids must stay unique per send actually
+  // executed, and the channel captures the uid of the poll it consumes.
+  std::size_t k = 0;
+  const int i = params_.node;
+  const auto slot = [&out, &k]() -> Action& {
+    if (k == out.size()) out.emplace_back();
+    return out[k++];
+  };
+  const auto put_deliver = [&](std::int64_t p) {
+    Action& a = slot();
+    a.name.assign("DELIVER");
+    a.node = i;
+    a.peer = kNoNode;
+    a.args.resize(1);
+    a.args[0] = Value{p};
+    a.msg.reset();
+  };
+  for (const std::int64_t p : to_deliver_) put_deliver(p);
+  for (const std::int64_t p : due_waves(now)) put_deliver(p);
+  for (const Relay& r : relays_) {
+    for (int j : r.targets) {
+      Action& a = slot();
+      a.name.assign("SENDMSG");
+      a.node = i;
+      a.peer = j;
+      a.args.clear();
+      if (!a.msg.has_value()) a.msg.emplace();
+      Message& m = *a.msg;
+      m.kind.assign("FLOOD");
+      m.fields.resize(1);
+      m.fields[0] = Value{r.payload};
+      m.uid = next_message_uid();
+      m.clock_tag = kNoClockTag;
+    }
+  }
+  if (params_.source && !announced_ && now >= complete_at()) {
+    Action& a = slot();
+    a.name.assign("COMPLETE");
+    a.node = i;
+    a.peer = kNoNode;
+    a.args.clear();
+    a.msg.reset();
+  }
+  out.resize(k);
+}
+
 void FloodNode::apply_local(const Action& a, Time now) {
   if (a.name == "DELIVER") {
     const std::int64_t p = as_int(a.args.at(0));
@@ -157,11 +208,12 @@ std::vector<std::unique_ptr<Machine>> make_flood_nodes(
     const Graph& graph, int source, std::int64_t payload, int hops_bound,
     Duration d2_design, Duration margin, int waves, Duration wave_gap) {
   std::vector<std::unique_ptr<Machine>> out;
+  std::vector<std::vector<int>> adjacency = graph.out_adjacency();
   for (int i = 0; i < graph.n; ++i) {
     FloodParams p;
     p.node = i;
     p.source = i == source;
-    p.peers = graph.out_peers(i);
+    p.peers = std::move(adjacency[static_cast<std::size_t>(i)]);
     p.payload = payload;
     p.hops_bound = hops_bound;
     p.d2_design = d2_design;

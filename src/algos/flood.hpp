@@ -60,6 +60,7 @@ class FloodNode final : public Machine {
   bool declare_signature(SignatureDecl& decl) const override;
   void apply_input(const Action& a, Time now) override;
   std::vector<Action> enabled(Time now) const override;
+  void enabled_into(Time now, std::vector<Action>& out) const override;
   void apply_local(const Action& a, Time now) override;
   Time upper_bound(Time now) const override;
   Time next_enabled(Time now) const override;

@@ -26,8 +26,9 @@ void TraceChecker::observe(const TimedEvent& e) {
     }
   }
 
-  check_channel(e);
-  if (opts_.ell >= 0) check_mmt(e);
+  const NameClass nc = name_class(e);
+  check_channel(e, nc);
+  if (opts_.ell >= 0) check_mmt(e, nc);
 
   if (opts_.check_order && opts_.num_nodes > 0 && opts_.eps >= 0 &&
       e.clock != kNoClockTag) {
@@ -35,59 +36,84 @@ void TraceChecker::observe(const TimedEvent& e) {
   }
 }
 
-void TraceChecker::check_channel(const TimedEvent& e) {
+TraceChecker::NameClass TraceChecker::classify_name(const std::string& nm) {
+  // Dispatch on (length, lead byte) before any full string comparison:
+  // for events without an interned kind this runs per event, and several
+  // string equalities per event are measurable against the online probe's
+  // <5% ns/event overhead budget (bench_executor's PSC_LINT arm).
+  if (nm.size() == 7) {
+    if (nm[0] == 'S' && nm == "SENDMSG") return NameClass::kSend;
+    if (nm[0] == 'R' && nm == "RECVMSG") return NameClass::kRecv;
+    if (nm[0] == 'M' && nm == "MMTSTEP") return NameClass::kMmtStep;
+    return NameClass::kOther;
+  }
+  if (nm.size() == 8 && nm[0] == 'E') {
+    if (nm[1] == 'S' && nm == "ESENDMSG") return NameClass::kESend;
+    if (nm[1] == 'R' && nm == "ERECVMSG") return NameClass::kERecv;
+    return NameClass::kOther;
+  }
+  if (nm.size() == 4 && nm[0] == 'T' && nm == "TICK") return NameClass::kTick;
+  return NameClass::kOther;
+}
+
+TraceChecker::NameClass TraceChecker::name_class(const TimedEvent& e) {
+  if (e.kind < 0) return classify_name(e.action.name);
+  const std::size_t kid = static_cast<std::size_t>(e.kind);
+  if (kid >= kind_class_.size()) {
+    kind_class_.resize(kid + 1, NameClass::kUnknown);
+  }
+  NameClass& memo = kind_class_[kid];
+  if (memo == NameClass::kUnknown) memo = classify_name(e.action.name);
+  return memo;
+}
+
+void TraceChecker::check_channel(const TimedEvent& e, NameClass nc) {
   const auto& a = e.action;
   if (!a.msg.has_value()) return;
   const std::uint64_t uid = a.msg->uid;
-  const std::string& nm = a.name;
 
-  // Dispatch on (length, lead byte) before any full string comparison:
-  // this runs for every message-carrying event, and four string
-  // equalities per event are measurable against the online probe's <5%
-  // ns/event overhead budget (bench_executor's PSC_LINT arm).
-  if (nm.size() == 7) {
-    if (nm[0] == 'S' && nm == "SENDMSG") {
+  switch (nc) {
+    case NameClass::kSend:
       msgs_[uid].send_time = e.time;
-    } else if (nm[0] == 'R' && nm == "RECVMSG") {
+      return;
+    case NameClass::kRecv:
       check_recv(e, uid);
-    }
-    return;
-  }
-  if (nm.size() != 8 || nm[0] != 'E') return;
-
-  if (nm[1] == 'S' && nm == "ESENDMSG") {
-    MsgRecord& r = msgs_[uid];
-    r.esend_time = e.time;
-    if (a.msg->clock_tag != kNoClockTag) r.tag = a.msg->clock_tag;
-    return;
-  }
-
-  if (nm[1] == 'R' && nm == "ERECVMSG") {
-    MsgRecord* r = msgs_.find(uid);
-    if (r == nullptr || r->esend_time < 0) {
-      report_.add(DiagCode::kUnknownDelivery,
-                  "ERECVMSG of uid " + std::to_string(uid) +
-                      " with no matching ESENDMSG",
-                  a.name, e.time);
+      return;
+    case NameClass::kESend: {
+      MsgRecord& r = msgs_[uid];
+      r.esend_time = e.time;
+      if (a.msg->clock_tag != kNoClockTag) r.tag = a.msg->clock_tag;
       return;
     }
-    // The tag travels with the message; remember it here too, because the
-    // receive buffer strips it before the RECVMSG release.
-    if (a.msg->clock_tag != kNoClockTag) r->tag = a.msg->clock_tag;
-    // PSC102 (Simulation 1): the physical channel carries (m, c) within
-    // [d1, d2] of real time.
-    if (opts_.d2 >= 0) {
-      const BoundWindow w = delivery_window(opts_.d1, opts_.d2);
-      const Duration lat = e.time - r->esend_time;
-      if (!w.contains(lat)) {
-        std::ostringstream msg;
-        msg << "uid " << uid << " delivered after " << format_time(lat)
-            << ", outside [" << format_time(w.lo) << ", " << format_time(w.hi)
-            << "]";
-        report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+    case NameClass::kERecv: {
+      MsgRecord* r = msgs_.find(uid);
+      if (r == nullptr || r->esend_time < 0) {
+        report_.add(DiagCode::kUnknownDelivery,
+                    "ERECVMSG of uid " + std::to_string(uid) +
+                        " with no matching ESENDMSG",
+                    a.name, e.time);
+        return;
       }
+      // The tag travels with the message; remember it here too, because the
+      // receive buffer strips it before the RECVMSG release.
+      if (a.msg->clock_tag != kNoClockTag) r->tag = a.msg->clock_tag;
+      // PSC102 (Simulation 1): the physical channel carries (m, c) within
+      // [d1, d2] of real time.
+      if (opts_.d2 >= 0) {
+        const BoundWindow w = delivery_window(opts_.d1, opts_.d2);
+        const Duration lat = e.time - r->esend_time;
+        if (!w.contains(lat)) {
+          std::ostringstream msg;
+          msg << "uid " << uid << " delivered after " << format_time(lat)
+              << ", outside [" << format_time(w.lo) << ", "
+              << format_time(w.hi) << "]";
+          report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+        }
+      }
+      return;
     }
-    return;
+    default:
+      return;
   }
 }
 
@@ -145,10 +171,10 @@ void TraceChecker::check_recv(const TimedEvent& e, std::uint64_t uid) {
   }
 }
 
-void TraceChecker::check_mmt(const TimedEvent& e) {
+void TraceChecker::check_mmt(const TimedEvent& e, NameClass nc) {
   // PSC105 half 1: the clock subsystem C^m fires a TICK at least every ell
   // (its single task class has boundmap [0, ell], enabled from time 0).
-  if (e.action.name == "TICK" && e.action.node != kNoNode) {
+  if (nc == NameClass::kTick && e.action.node != kNoNode) {
     const auto it = last_tick_.find(e.action.node);
     const Time prev = it == last_tick_.end() ? 0 : it->second;
     if (!mmt_window(opts_.ell).contains(e.time - prev, opts_.slack)) {
@@ -165,7 +191,7 @@ void TraceChecker::check_mmt(const TimedEvent& e) {
   // consecutive locally controlled events of the same owner; the trailing
   // gap to the run's end is exempt (the run may stop mid-budget).
   if (e.owner >= 0) {
-    if (e.action.name == "MMTSTEP") mmt_owners_.insert(e.owner);
+    if (nc == NameClass::kMmtStep) mmt_owners_.insert(e.owner);
     const auto it = last_local_.find(e.owner);
     if (mmt_owners_.count(e.owner) != 0) {
       const Time prev = it == last_local_.end() ? 0 : it->second;

@@ -81,12 +81,34 @@ class TraceChecker {
     Time tag = kNoClockTag;  // sender clock tag carried by the message
   };
 
-  void check_channel(const TimedEvent& e);
+  // The checker's own dispatch alphabet: which of the conventional action
+  // names an event carries. Computed per event from the name — or, for
+  // events coming off the executor's interned scheduler path
+  // (TimedEvent::kind >= 0), looked up in a per-kind memo so the per-event
+  // cost is an array index instead of string comparisons. Kind ids are
+  // per-run, so one checker must only ever observe one executor's events
+  // (true for the probe and check_trace forms alike); the name fallback
+  // keeps hand-built and legacy-loop traces working.
+  enum class NameClass : std::uint8_t {
+    kOther = 0,
+    kSend,      // SENDMSG
+    kRecv,      // RECVMSG
+    kESend,     // ESENDMSG
+    kERecv,     // ERECVMSG
+    kTick,      // TICK
+    kMmtStep,   // MMTSTEP
+    kUnknown,   // memo slot not yet computed
+  };
+  static NameClass classify_name(const std::string& name);
+  NameClass name_class(const TimedEvent& e);
+
+  void check_channel(const TimedEvent& e, NameClass nc);
   // RECVMSG leg of check_channel: physical delivery in the timed model,
   // buffer release (Lamport condition + Theorem 4.7 window) under Sim 1.
   void check_recv(const TimedEvent& e, std::uint64_t uid);
-  void check_mmt(const TimedEvent& e);
+  void check_mmt(const TimedEvent& e, NameClass nc);
 
+  std::vector<NameClass> kind_class_;  // ActionKindId -> NameClass memo
   TraceCheckOptions opts_;
   DiagnosticReport report_;
   UidIndex<MsgRecord> msgs_;

@@ -135,6 +135,30 @@ std::vector<Action> Channel::enabled(Time t) const {
   return out;
 }
 
+void Channel::enabled_into(Time t, std::vector<Action>& out) const {
+  // Same sequence as enabled(), built into recycled slots: in the steady
+  // state a channel's due set has a stable size, so the RECVMSG name, the
+  // args vector and the Message payload buffers are all reused in place and
+  // the scheduler's re-poll performs no allocation.
+  std::size_t k = 0;
+  for (const auto& f : buffer_) {
+    if (f.deliver_at <= t) {
+      if (k == out.size()) out.emplace_back();
+      Action& a = out[k++];
+      a.name.assign(recv_name_);
+      a.node = j_;
+      a.peer = i_;
+      a.args.clear();
+      if (a.msg.has_value()) {
+        *a.msg = f.msg;  // Message copy-assign reuses kind/fields capacity
+      } else {
+        a.msg = f.msg;
+      }
+    }
+  }
+  out.resize(k);
+}
+
 void Channel::apply_local(const Action& a, Time t) {
   PSC_CHECK(a.msg.has_value(), "recv without message");
   auto it = std::find_if(buffer_.begin(), buffer_.end(), [&](const InFlight& f) {

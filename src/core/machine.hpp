@@ -116,6 +116,17 @@ class Machine {
   // Locally controlled actions whose preconditions hold at time t.
   virtual std::vector<Action> enabled(Time t) const = 0;
 
+  // Allocation-aware variant: overwrite `out` with exactly what enabled(t)
+  // would return. The executor re-polls through this so machines can recycle
+  // the candidate buffer's heap blocks (strings, arg vectors, message
+  // fields) across polls instead of rebuilding them — the scheduler's
+  // steady state then performs no malloc/free per event. The default
+  // forwards to enabled(); overriders must produce the identical sequence
+  // (the adversary's pick order depends on it).
+  virtual void enabled_into(Time t, std::vector<Action>& out) const {
+    out = enabled(t);
+  }
+
   // Effect of a locally controlled action previously reported by enabled().
   virtual void apply_local(const Action& a, Time t) = 0;
 

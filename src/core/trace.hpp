@@ -21,6 +21,12 @@ struct TimedEvent {
   Time clock = kNoClockTag; // owner's clock value, if the owner is clocked
   int owner = -1;           // index of the machine that controlled the action
   bool visible = true;      // false once hidden (output reclassified internal)
+  // The executor's interned id for action's (name, node, peer) kind, when
+  // the event came off the interned scheduler path; kNoKind otherwise (the
+  // legacy polling loop, or events built by hand in tests). Ids are local
+  // to one executor run — consumers must treat this as a per-run cache key
+  // for string dispatch, never as a stable identity across runs.
+  ActionKindId kind = kNoKind;
 };
 
 using TimedTrace = std::vector<TimedEvent>;

@@ -233,6 +233,11 @@ void SchedulerStatsProbe::on_run_end(Time /*now*/) {
   reg_.counter("exec.wake.pops").add(s.wake_pops);
   reg_.counter("exec.wake.stale_pops").add(s.wake_stale_pops);
   reg_.counter("exec.wake.compactions").add(s.wake_compactions);
+  reg_.counter("exec.wheel.inserts").add(s.wheel.inserts);
+  reg_.counter("exec.wheel.due").add(s.wheel.due);
+  reg_.counter("exec.wheel.stale_drops").add(s.wheel.stale_drops);
+  reg_.counter("exec.wheel.cascades").add(s.wheel.cascades);
+  reg_.counter("exec.wheel.compactions").add(s.wheel.compactions);
   reg_.counter("exec.dirty.flushes").add(s.dirty_flushes);
   reg_.counter("exec.dirty.repolls").add(s.dirty_repolls);
   reg_.gauge("exec.dirty.peak").set(static_cast<double>(s.dirty_peak));
@@ -246,6 +251,7 @@ void SchedulerStatsProbe::on_run_end(Time /*now*/) {
       .add(s.fanout_classify_calls);
   reg_.counter("exec.kind.hits").add(s.kind_hits);
   reg_.counter("exec.kind.resolves").add(s.kind_resolves);
+  reg_.counter("exec.kind.memo_hits").add(s.kind_memo_hits);
   reg_.gauge("exec.kind.interned").set(
       static_cast<double>(exec_.interned_kind_count()));
 }

@@ -1,7 +1,6 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdlib>
 #include <string_view>
 #include <utility>
@@ -19,6 +18,7 @@ constexpr auto kWakeLater = [](const auto& a, const auto& b) {
 
 Executor::Executor(ExecutorOptions options)
     : options_(std::move(options)),
+      use_wheel_(!options_.legacy_scan && !options_.heap_calendar),
       rng_(options_.seed),
       probes_(std::move(options_.probes)) {}
 
@@ -28,20 +28,34 @@ void Executor::add(Machine* machine) {
   PSC_CHECK(machine != nullptr, "null machine");
   const std::size_t m = machines_.size();
   machines_.push_back(machine);
-  sched_.emplace_back();
+  cands_.emplace_back();
+  cand_count_.push_back(0);
+  gen_.push_back(0);
+  declared_.push_back(0);
+  memo_kid_.push_back(kNoKind);
+  memo_role_.push_back(ActionRole::kNotMine);
   in_dirty_.push_back(0);
   SignatureDecl decl;
   if (machine->declare_signature(decl)) {
-    sched_[m].declared = true;
+    declared_[m] = 1;
     ++declared_count_;
     for (const SignatureDecl::Entry& e : decl.entries()) {
-      decls_by_name_[e.name].push_back(DeclRecord{e.node, e.peer, e.role, m});
+      DeclBucket& b = decls_by_name_[e.name];
+      const DeclRecord rec{e.node, e.peer, e.role, m, decl_seq_++};
+      if (e.node == kAnyNode) {
+        b.any_node.push_back(rec);
+      } else {
+        b.by_node[e.node].push_back(rec);
+      }
     }
   } else {
     generic_.push_back(m);
   }
-  // The new machine may subscribe to or claim already-interned kinds.
+  // The new machine may subscribe to or claim already-interned kinds, so
+  // resolved routing lists — and the per-machine memos caching their
+  // conclusions — are stale.
   for (KindInfo& k : kinds_) k.resolved = false;
+  std::fill(memo_kid_.begin(), memo_kid_.end(), kNoKind);
 }
 
 void Executor::add_owned(std::unique_ptr<Machine> machine) {
@@ -90,10 +104,23 @@ void Executor::resolve_kind(ActionKindId id) {
   const ActionKindKey& key = kind_keys_[static_cast<std::size_t>(id)];
   const auto bucket = decls_by_name_.find(key.name);
   if (bucket != decls_by_name_.end()) {
-    // Records were appended at add() time, so the bucket is sorted by
-    // machine index and a back() test suffices for dedup.
-    for (const DeclRecord& d : bucket->second) {
-      if (d.node != kAnyNode && d.node != key.node) continue;
+    // Only records declared for this kind's node (or for any node) can
+    // match; merge those two lists back into global declaration order so
+    // the routing lists come out exactly as a flat scan over all records
+    // would have built them. Both lists are seq-ascending by construction,
+    // and seq order is machine-ascending, so the back() test still dedups.
+    static const std::vector<DeclRecord> kNone;
+    const auto it = bucket->second.by_node.find(key.node);
+    const std::vector<DeclRecord>& exact =
+        it != bucket->second.by_node.end() ? it->second : kNone;
+    const std::vector<DeclRecord>& any = bucket->second.any_node;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < exact.size() || j < any.size()) {
+      const DeclRecord& d =
+          j >= any.size() || (i < exact.size() && exact[i].seq < any[j].seq)
+              ? exact[i++]
+              : any[j++];
       if (d.peer != kAnyNode && d.peer != key.peer) continue;
       if (d.role == ActionRole::kInput) {
         if (k.subscribers.empty() || k.subscribers.back() != d.machine) {
@@ -126,11 +153,14 @@ void Executor::reset_sched() {
   dirty_.clear();
   ne_heap_.clear();
   ub_heap_.clear();
+  ne_wheel_.reset(now_);
+  ub_wheel_.reset(now_);
   total_cands_ = 0;
-  nonempty_.assign((machines_.size() + 63) / 64, 0);
+  nonempty_.assign(machines_.size());
   for (std::size_t m = 0; m < machines_.size(); ++m) {
-    sched_[m].cands.clear();
-    ++sched_[m].gen;
+    cands_[m].clear();
+    cand_count_[m] = 0;
+    ++gen_[m];
     in_dirty_[m] = 1;
     dirty_.push_back(m);
   }
@@ -143,18 +173,8 @@ void Executor::mark_dirty(std::size_t m) {
   }
 }
 
-void Executor::set_nonempty(std::size_t m, bool v) {
-  const std::size_t word = m >> 6;
-  const std::uint64_t bit = std::uint64_t{1} << (m & 63);
-  if (v) {
-    nonempty_[word] |= bit;
-  } else {
-    nonempty_[word] &= ~bit;
-  }
-}
-
 void Executor::push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m) {
-  heap.push_back(WakeEntry{t, m, sched_[m].gen});
+  heap.push_back(WakeEntry{t, m, gen_[m]});
   std::push_heap(heap.begin(), heap.end(), kWakeLater);
   ++stats_.wake_pushes;
   // Lazy invalidation lets stale entries pile up; compact once they dominate
@@ -162,7 +182,7 @@ void Executor::push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m) {
   if (heap.size() > 4 * machines_.size() + 64) {
     ++stats_.wake_compactions;
     std::erase_if(heap, [this](const WakeEntry& e) {
-      return e.gen != sched_[e.machine].gen;
+      return e.gen != gen_[e.machine];
     });
     std::make_heap(heap.begin(), heap.end(), kWakeLater);
   }
@@ -172,6 +192,17 @@ void Executor::pop_wake(std::vector<WakeEntry>& heap) {
   std::pop_heap(heap.begin(), heap.end(), kWakeLater);
   heap.pop_back();
   ++stats_.wake_pops;
+}
+
+void Executor::push_wheel(TimingWheel& wheel, Time t, std::size_t m) {
+  wheel.insert(t, static_cast<std::uint32_t>(m), gen_[m], stats_.wheel);
+  // Same stale-domination backstop as the heaps (each machine has at most
+  // one current-generation entry per wheel).
+  if (wheel.size() > 4 * machines_.size() + 64) {
+    wheel.compact(
+        [this](const TimingWheel::Entry& e) { return e.gen == gen_[e.machine]; },
+        stats_.wheel);
+  }
 }
 
 void Executor::flush_dirty() {
@@ -185,40 +216,52 @@ void Executor::flush_dirty() {
   for (std::size_t i = 0; i < dirty_.size(); ++i) {
     const std::size_t m = dirty_[i];
     in_dirty_[m] = 0;
-    Sched& s = sched_[m];
-    total_cands_ -= s.cands.size();
-    s.cands = machines_[m]->enabled(now_);
-    total_cands_ += s.cands.size();
-    set_nonempty(m, !s.cands.empty());
-    ++s.gen;
+    std::vector<Action>& c = cands_[m];
+    total_cands_ -= c.size();
+    machines_[m]->enabled_into(now_, c);
+    total_cands_ += c.size();
+    cand_count_[m] = static_cast<std::uint32_t>(c.size());
+    if (c.empty()) {
+      nonempty_.reset(m);
+    } else {
+      nonempty_.set(m);
+    }
+    ++gen_[m];
     const Time ne = machines_[m]->next_enabled(now_);
     PSC_CHECK(ne > now_ || ne == kTimeMax,
               "machine " << machines_[m]->name() << " reported next_enabled "
                          << format_time(ne) << " not after now "
                          << format_time(now_));
-    if (ne != kTimeMax) push_wake(ne_heap_, ne, m);
+    if (ne != kTimeMax) {
+      if (use_wheel_) {
+        push_wheel(ne_wheel_, ne, m);
+      } else {
+        push_wake(ne_heap_, ne, m);
+      }
+    }
     const Time ub = machines_[m]->upper_bound(now_);
     PSC_CHECK(ub >= now_, "machine " << machines_[m]->name()
                                      << " upper_bound in the past: "
                                      << format_time(ub) << " < "
                                      << format_time(now_));
-    if (ub != kTimeMax) push_wake(ub_heap_, ub, m);
+    if (ub != kTimeMax) {
+      if (use_wheel_) {
+        push_wheel(ub_wheel_, ub, m);
+      } else {
+        push_wake(ub_heap_, ub, m);
+      }
+    }
   }
   dirty_.clear();
 }
 
 std::pair<std::size_t, std::size_t> Executor::locate_candidate(
     std::size_t k) const {
-  for (std::size_t w = 0; w < nonempty_.size(); ++w) {
-    std::uint64_t bits = nonempty_[w];
-    while (bits != 0) {
-      const std::size_t m =
-          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
-      const std::size_t n = sched_[m].cands.size();
-      if (k < n) return {m, k};
-      k -= n;
-      bits &= bits - 1;
-    }
+  for (std::size_t m = nonempty_.next_set(0); m != HierBitset::npos;
+       m = nonempty_.next_set(m + 1)) {
+    const std::size_t n = cand_count_[m];
+    if (k < n) return {m, k};
+    k -= n;
   }
   PSC_CHECK(false, "candidate index " << k << " out of range");
   return {0, 0};
@@ -239,42 +282,67 @@ void Executor::record_event(TimedEvent& e, std::size_t machine,
 }
 
 void Executor::execute_fast(std::size_t machine, std::size_t offset) {
-  Sched& s = sched_[machine];
   // The machine is re-polled before the next pick, so the cached entry can
-  // be consumed in place. It is consumed directly into the TimedEvent
-  // unconditionally: the move trades places with the candidate slot's own
-  // destructor (total teardown work is conserved) and measures at noise
-  // level on the probe-free path, while a conditional alias of the action
-  // defeats alias analysis and costs real time on the observed path.
-  // record_event then only fills in scalar fields, so attaching a probe
-  // adds no Action move (let alone a deep copy) to the per-event path.
-  TimedEvent ev;
-  ev.action = std::move(s.cands[offset]);
+  // be consumed in place. It is *swapped* (not moved) into the recycled
+  // scratch event: the previous event's dead Action lands in the candidate
+  // slot about to be overwritten by the re-poll, so the string/args/message
+  // buffers cycle between the scheduler and the machines' candidate lists
+  // and the steady state never touches the allocator. record_event then
+  // only fills in scalar fields, so attaching a probe adds no per-event
+  // Action traffic either.
+  TimedEvent& ev = scratch_event_;
+  std::swap(ev.action, cands_[machine][offset]);
   const Action& a = ev.action;
   Machine* owner = machines_[machine];
-  const ActionKindId kid = intern(a);
+
+  // Per-machine kind memo: a machine that keeps emitting one kind (all of
+  // them, in the shipped harnesses) skips the interning hash entirely.
+  ActionKindId kid = memo_kid_[machine];
+  bool memo = kid != kNoKind;
+  if (memo) {
+    const ActionKindKey& key = kind_keys_[static_cast<std::size_t>(kid)];
+    memo = key.node == a.node && key.peer == a.peer && key.name == a.name;
+  }
+  if (!memo) {
+    kid = intern(a);
+    memo_kid_[machine] = kid;
+    memo_role_[machine] = ActionRole::kNotMine;  // role not yet validated
+  }
+  ev.kind = kid;
   KindInfo& k = kinds_[static_cast<std::size_t>(kid)];
   if (!k.resolved) {
     ++stats_.kind_resolves;
     resolve_kind(kid);
   } else {
     ++stats_.kind_hits;
+    if (memo) ++stats_.kind_memo_hits;
   }
 
   ActionRole role = ActionRole::kNotMine;
-  if (s.declared) {
+  if (declared_[machine]) {
     ++stats_.route_fast;
-    for (const auto& c : k.claimants) {
-      if (c.first == machine) {
-        role = c.second;
-        break;
+    // The claimant scan validates that the declared signature locally
+    // controls this kind; its verdict is pure in (machine, kind) while the
+    // composition is fixed, so the memoized role skips the re-validation.
+    if (memo && memo_role_[machine] != ActionRole::kNotMine) {
+      role = memo_role_[machine];
+    } else {
+      for (const auto& c : k.claimants) {
+        if (c.first == machine) {
+          role = c.second;
+          break;
+        }
       }
+      PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
+                "machine " << owner->name() << " enabled action "
+                           << to_string(a)
+                           << " not locally controlled by its declared "
+                              "signature");
+      memo_role_[machine] = role;
     }
-    PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
-              "machine " << owner->name() << " enabled action " << to_string(a)
-                         << " not locally controlled by its declared "
-                            "signature");
   } else {
+    // Undeclared machines make no kind-purity promise — classify() may
+    // inspect argument values — so their role is never memoized.
     ++stats_.route_classify;
     role = owner->classify(a);
     PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
@@ -327,7 +395,7 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
 
 bool Executor::advance_time_sched() {
   while (!ne_heap_.empty() &&
-         ne_heap_.front().gen != sched_[ne_heap_.front().machine].gen) {
+         ne_heap_.front().gen != gen_[ne_heap_.front().machine]) {
     ++stats_.wake_stale_pops;
     pop_wake(ne_heap_);
   }
@@ -340,7 +408,7 @@ bool Executor::advance_time_sched() {
     return false;  // future work exists but lies beyond the horizon
   }
   while (!ub_heap_.empty() &&
-         ub_heap_.front().gen != sched_[ub_heap_.front().machine].gen) {
+         ub_heap_.front().gen != gen_[ub_heap_.front().machine]) {
     ++stats_.wake_stale_pops;
     pop_wake(ub_heap_);
   }
@@ -361,7 +429,7 @@ bool Executor::advance_time_sched() {
   while (!ne_heap_.empty() && ne_heap_.front().t <= now_) {
     const WakeEntry e = ne_heap_.front();
     pop_wake(ne_heap_);
-    if (e.gen == sched_[e.machine].gen) {
+    if (e.gen == gen_[e.machine]) {
       mark_dirty(e.machine);
     } else {
       ++stats_.wake_stale_pops;
@@ -370,12 +438,43 @@ bool Executor::advance_time_sched() {
   while (!ub_heap_.empty() && ub_heap_.front().t <= now_) {
     const WakeEntry e = ub_heap_.front();
     pop_wake(ub_heap_);
-    if (e.gen == sched_[e.machine].gen) {
+    if (e.gen == gen_[e.machine]) {
       mark_dirty(e.machine);
     } else {
       ++stats_.wake_stale_pops;
     }
   }
+  return true;
+}
+
+bool Executor::advance_time_wheel() {
+  // Identical decision sequence to advance_time_sched (the deadlock check,
+  // probe notification and wake set are observable through probes and the
+  // RNG stream, and the trace-equivalence tests pin all three); only the
+  // calendar data structure differs.
+  const auto valid = [this](const TimingWheel::Entry& e) {
+    return e.gen == gen_[e.machine];
+  };
+  const Time next = ne_wheel_.earliest(valid, stats_.wheel);
+  if (next >= kTimeMax) {
+    quiesced_ = true;
+    return false;  // nothing will ever enable again
+  }
+  if (next > options_.horizon) {
+    return false;  // future work exists but lies beyond the horizon
+  }
+  const Time ub = ub_wheel_.earliest(valid, stats_.wheel);
+  PSC_CHECK(next <= ub,
+            "time deadlock: next enabling at "
+                << format_time(next) << " but an upper bound stops time at "
+                << format_time(ub));
+  const Time prev = now_;
+  now_ = next;
+  ++stats_.time_advances;
+  if (now_ >= time_probe_wake_) notify_time_probes(prev);
+  const auto due = [this](std::uint32_t m) { mark_dirty(m); };
+  ne_wheel_.advance_to(now_, valid, due, stats_.wheel);
+  ub_wheel_.advance_to(now_, valid, due, stats_.wheel);
   return true;
 }
 
@@ -391,7 +490,9 @@ void Executor::run_loop_sched() {
       execute_fast(m, offset);
       continue;
     }
-    if (!advance_time_sched()) break;
+    const bool advanced =
+        use_wheel_ ? advance_time_wheel() : advance_time_sched();
+    if (!advanced) break;
   }
 }
 

@@ -15,13 +15,18 @@
 //
 // Scheduling: the default inner loop is event-driven rather than scanning —
 // a *dirty set* re-polls only machines whose state an event touched, a
-// *wake calendar* (lazy min-heaps over next_enabled/upper_bound hints)
-// replaces the per-advance O(machines) scan, and outputs are routed through
-// a subscription index over interned action kinds instead of calling
-// classify() on every machine. Seed-for-seed it produces byte-identical
-// traces and probe sequences to the legacy scan loop, which is kept behind
-// ExecutorOptions::legacy_scan for A/B tests and benchmarks. See
-// docs/EXECUTOR.md for the invalidation rules and the equivalence argument.
+// *wake calendar* (a hierarchical timing wheel over next_enabled/upper_bound
+// hints; see runtime/wheel.hpp) replaces the per-advance O(machines) scan,
+// and outputs are routed through a subscription index over interned action
+// kinds instead of calling classify() on every machine. Per-machine state
+// lives in parallel arrays (structure-of-arrays) sized once at add() time,
+// and candidate buffers are recycled through Machine::enabled_into, so the
+// steady state allocates nothing per event. Seed-for-seed the wheel loop
+// produces byte-identical traces and probe sequences to both the PR 2
+// heap-calendar loop (kept behind ExecutorOptions::heap_calendar) and the
+// legacy polling loop (ExecutorOptions::legacy_scan), which exist for A/B
+// tests and benchmarks. See docs/EXECUTOR.md for the invalidation rules and
+// the equivalence argument.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +41,8 @@
 #include "core/machine.hpp"
 #include "core/trace.hpp"
 #include "obs/probe.hpp"
+#include "runtime/wheel.hpp"
+#include "util/hier_bitset.hpp"
 #include "util/rng.hpp"
 
 namespace psc {
@@ -49,6 +56,10 @@ struct ExecutorOptions {
   // calendar/dirty-set scheduler. Trace- and probe-equivalent to the
   // default; exists so determinism regressions and benches can A/B the two.
   bool legacy_scan = false;
+  // Runs the PR 2 lazy-min-heap wake calendar instead of the timing wheel
+  // (ignored under legacy_scan, which has no calendar at all). Trace- and
+  // probe-equivalent to the default; the third arm of the scheduler A/B.
+  bool heap_calendar = false;
   // Observers notified on every executed event and time-passage step
   // (non-owning; see obs/probe.hpp). Consumed at construction: the executor
   // stores a single probe list, shared with attach_probe(). With no probes
@@ -69,11 +80,13 @@ struct ExecutorOptions {
 struct ExecutorStats {
   std::uint64_t events = 0;         // executed actions
   std::uint64_t time_advances = 0;  // nu steps
-  // Wake calendar (lazy min-heaps over next_enabled/upper_bound hints).
+  // Heap wake calendar (ExecutorOptions::heap_calendar arm only).
   std::uint64_t wake_pushes = 0;
   std::uint64_t wake_pops = 0;        // popped entries, valid and stale
   std::uint64_t wake_stale_pops = 0;  // lazily-invalidated entries discarded
   std::uint64_t wake_compactions = 0;
+  // Timing-wheel wake calendar (the default arm); see runtime/wheel.hpp.
+  WheelStats wheel;
   // Dirty set / per-machine candidate cache. A flush re-polls exactly the
   // dirty machines; every other machine's cached enabled() list is a hit.
   std::uint64_t dirty_flushes = 0;     // flushes that re-polled >= 1 machine
@@ -87,6 +100,10 @@ struct ExecutorStats {
   std::uint64_t fanout_classify_calls = 0;  // classify() probes of generic machines
   std::uint64_t kind_hits = 0;       // executions served by a resolved kind
   std::uint64_t kind_resolves = 0;   // routing-info cache misses
+  // Executions whose kind matched the owner's last-executed kind, skipping
+  // even the interning hash (channels and workers emit one kind each, so
+  // this should be ~all events on the shipped harnesses).
+  std::uint64_t kind_memo_hits = 0;
 
   // Fraction of per-flush machine visits served from cache (1 = perfectly
   // incremental, 0 = legacy full re-poll behaviour).
@@ -178,12 +195,25 @@ class Executor {
 
   // --- interned action kinds and the subscription index -------------------
 
-  // One record per declared signature entry, bucketed by action name.
+  // One record per declared signature entry. `seq` is the global
+  // declaration order (add() order, then entry order within a machine):
+  // buckets split by node are merged back in seq order at resolve time, so
+  // routing lists come out exactly as a flat scan would have built them.
   struct DeclRecord {
     int node = kAnyNode;
     int peer = kAnyNode;
     ActionRole role = ActionRole::kNotMine;
     std::size_t machine = 0;
+    std::uint64_t seq = 0;
+  };
+
+  // Declarations for one action name, split by declared node so resolving
+  // a kind scans only the records that can match its node — with n nodes
+  // declaring "RECVMSG", the flat per-name bucket made first-execution
+  // resolution O(n) per kind and O(n^2) over a run's first wave.
+  struct DeclBucket {
+    std::vector<DeclRecord> any_node;  // entries declared with kAnyNode
+    std::unordered_map<int, std::vector<DeclRecord>> by_node;
   };
 
   struct KindInfo {
@@ -202,12 +232,6 @@ class Executor {
 
   // --- calendar / dirty-set scheduler -------------------------------------
 
-  struct Sched {
-    std::vector<Action> cands;  // cached enabled() at the current (state, now)
-    std::uint32_t gen = 0;      // bumped per re-poll; lazily invalidates heap
-    bool declared = false;
-  };
-
   struct WakeEntry {
     Time t;
     std::size_t machine;
@@ -217,15 +241,16 @@ class Executor {
   void reset_sched();
   void mark_dirty(std::size_t m);
   void flush_dirty();
-  void set_nonempty(std::size_t m, bool v);
   // Maps a flat candidate index (machine-ascending, per-machine enabled()
   // order — the legacy gather order) to (machine, offset).
   std::pair<std::size_t, std::size_t> locate_candidate(std::size_t k) const;
   void push_wake(std::vector<WakeEntry>& heap, Time t, std::size_t m);
   void pop_wake(std::vector<WakeEntry>& heap);
+  void push_wheel(TimingWheel& wheel, Time t, std::size_t m);
 
   void run_loop_sched();
-  bool advance_time_sched();
+  bool advance_time_sched();  // heap-calendar arm
+  bool advance_time_wheel();  // timing-wheel arm (default)
   void execute_fast(std::size_t machine, std::size_t offset);
   // Finishes an event the caller already owns: fills in the scalar fields
   // (time, clock, owner, visibility), notifies probes, and appends it to
@@ -246,6 +271,7 @@ class Executor {
   void run_loop_legacy();
 
   ExecutorOptions options_;
+  bool use_wheel_ = true;  // !legacy_scan && !heap_calendar
   Rng rng_;
   std::vector<Probe*> probes_;
   // probes_ filtered by the observes_events()/observes_time() hints,
@@ -271,18 +297,43 @@ class Executor {
       kind_ids_;
   std::vector<ActionKindKey> kind_keys_;  // id -> key
   std::vector<KindInfo> kinds_;           // id -> routing info
-  std::unordered_map<std::string, std::vector<DeclRecord>> decls_by_name_;
+  std::unordered_map<std::string, DeclBucket> decls_by_name_;
+  std::uint64_t decl_seq_ = 0;
   std::vector<std::size_t> generic_;  // machines on the classify() fallback
   std::size_t declared_count_ = 0;
 
-  // Scheduler state.
-  std::vector<Sched> sched_;
+  // Per-machine scheduler state, as parallel arrays indexed by machine.
+  // Keeping each field in its own contiguous array (structure-of-arrays)
+  // means the loops that walk one field — locate_candidate over counts,
+  // generation tests from the calendar — stream through packed memory
+  // instead of striding over fat per-machine records.
+  std::vector<std::vector<Action>> cands_;  // cached enabled() per machine
+  std::vector<std::uint32_t> cand_count_;   // cands_[m].size(), packed
+  std::vector<std::uint32_t> gen_;    // bumped per re-poll (lazy calendar
+                                      // invalidation)
+  std::vector<char> declared_;        // machine declared its signature
+  // Per-machine routing memo: the kind and role of the machine's last
+  // executed action. A machine that keeps emitting one kind (every machine
+  // in the shipped harnesses) skips the intern hash and the claimant scan
+  // after its first event. Reset by add(), which can change routing.
+  std::vector<ActionKindId> memo_kid_;
+  std::vector<ActionRole> memo_role_;
+
   std::vector<std::size_t> dirty_;
   std::vector<char> in_dirty_;
-  std::vector<std::uint64_t> nonempty_;  // bitset over machines
+  HierBitset nonempty_;  // machines with cand_count_[m] > 0
   std::size_t total_cands_ = 0;
-  std::vector<WakeEntry> ne_heap_;  // min-heap over next_enabled hints
-  std::vector<WakeEntry> ub_heap_;  // min-heap over upper_bound deadlines
+  // Wake calendars: the timing wheel is the default; the PR 2 lazy
+  // min-heaps survive behind ExecutorOptions::heap_calendar.
+  TimingWheel ne_wheel_;  // next_enabled hints
+  TimingWheel ub_wheel_;  // upper_bound deadlines
+  std::vector<WakeEntry> ne_heap_;
+  std::vector<WakeEntry> ub_heap_;
+  // Recycled per-event scratch: the candidate Action is swapped (not moved)
+  // into this event and swapped back out on the next pick, so the string /
+  // args / message buffers cycle between the scheduler and the machines'
+  // candidate lists instead of hitting the allocator each event.
+  TimedEvent scratch_event_;
 };
 
 }  // namespace psc

@@ -43,6 +43,14 @@ std::vector<int> Graph::out_peers(int i) const {
   return out;
 }
 
+std::vector<std::vector<int>> Graph::out_adjacency() const {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    out[static_cast<std::size_t>(a)].push_back(b);
+  }
+  return out;
+}
+
 std::vector<int> Graph::in_peers(int i) const {
   std::vector<int> out;
   for (const auto& [a, b] : edges) {

@@ -27,6 +27,10 @@ struct Graph {
 
   std::vector<int> out_peers(int i) const;
   std::vector<int> in_peers(int i) const;
+  // All out-neighbour lists in one O(V + E) pass — per-node out_peers()
+  // calls cost O(E) each, which turns assembling an n-node system into
+  // O(n * E) before the executor even starts.
+  std::vector<std::vector<int>> out_adjacency() const;
 };
 
 // Channel parameters shared by all edges of a system.

@@ -1,0 +1,98 @@
+// Hierarchical bitset: find-first-set-at-or-after in O(log64 n).
+//
+// The scheduler keeps one bit per machine ("has cached candidates") and maps
+// the adversary's flat pick to a machine by walking set bits in ascending
+// index order. A flat word array makes that walk O(n/64) per event, which is
+// exactly the kind of linear term the 1M-machine sweep exists to catch; a
+// 64-ary summary tree makes next_set() a handful of word probes regardless
+// of n. Levels above the base store one summary bit per child word (set iff
+// the child word is nonzero), so membership updates touch at most
+// log64(n) words and the common case (word stays nonzero) touches one.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psc {
+
+class HierBitset {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Resets to `n` bits, all clear.
+  void assign(std::size_t n) {
+    n_ = n;
+    levels_.clear();
+    std::size_t words = (n + 63) / 64;
+    if (n == 0) return;
+    do {
+      levels_.emplace_back(words, 0);
+      words = (words + 63) / 64;
+    } while (levels_.back().size() > 1);
+  }
+
+  std::size_t size() const { return n_; }
+
+  bool test(std::size_t i) const {
+    return (levels_[0][i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) {
+    for (std::size_t lev = 0; lev < levels_.size(); ++lev) {
+      std::uint64_t& w = levels_[lev][i >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+      const bool was_empty = w == 0;
+      w |= bit;
+      if (!was_empty) return;  // summaries above are already set
+      i >>= 6;
+    }
+  }
+
+  void reset(std::size_t i) {
+    for (std::size_t lev = 0; lev < levels_.size(); ++lev) {
+      std::uint64_t& w = levels_[lev][i >> 6];
+      w &= ~(std::uint64_t{1} << (i & 63));
+      if (w != 0) return;  // word still occupied: summaries stay set
+      i >>= 6;
+    }
+  }
+
+  // Smallest set index >= i, or npos.
+  std::size_t next_set(std::size_t i) const {
+    if (n_ == 0 || i >= n_) return npos;
+    std::size_t word = i >> 6;
+    std::uint64_t bits = levels_[0][word] & (~std::uint64_t{0} << (i & 63));
+    std::size_t lev = 0;
+    for (;;) {
+      if (bits != 0) {
+        // Descend from this occupied word to its first set base bit.
+        std::size_t idx =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        while (lev > 0) {
+          --lev;
+          word = idx;
+          idx = (word << 6) + static_cast<std::size_t>(
+                                  std::countr_zero(levels_[lev][word]));
+        }
+        return idx;
+      }
+      // Climb: look for a later occupied sibling via the summary level.
+      const std::size_t bit = word & 63;
+      word >>= 6;
+      ++lev;
+      if (lev >= levels_.size()) return npos;
+      bits = bit == 63
+                 ? 0
+                 : levels_[lev][word] & (~std::uint64_t{0} << (bit + 1));
+    }
+  }
+
+ private:
+  std::size_t n_ = 0;
+  // levels_[0] is one bit per element; levels_[k] one bit per level k-1 word.
+  std::vector<std::vector<std::uint64_t>> levels_;
+};
+
+}  // namespace psc

@@ -1,8 +1,11 @@
 // Regression suite for the executor's calendar/dirty-set scheduler: the
-// rewritten inner loop must be observationally identical to the legacy
-// polling loop — byte-identical TimedTraces and probe sequences for the
-// same seed — and the interned routing must preserve the composition
-// compatibility errors and hide() edge cases of the classify() path.
+// three scheduler arms — the default timing-wheel calendar, the PR 2 heap
+// calendar (ExecutorOptions::heap_calendar) and the legacy polling loop
+// (ExecutorOptions::legacy_scan) — must be observationally identical:
+// byte-identical TimedTraces and probe sequences for the same seed, on
+// every shipped harness. The interned routing must also preserve the
+// composition compatibility errors and hide() edge cases of the
+// classify() path.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -68,11 +71,23 @@ class RecordingProbe final : public Probe {
   std::ostringstream log_;
 };
 
-TimedTrace run_flood(const Graph& g, std::uint64_t seed, bool legacy,
+// The three scheduler arms under test, as (legacy_scan, heap_calendar).
+struct SchedMode {
+  bool legacy;
+  bool heap;
+  const char* name;
+};
+constexpr SchedMode kWheelMode{false, false, "wheel"};
+constexpr SchedMode kHeapMode{false, true, "heap"};
+constexpr SchedMode kLegacyMode{true, false, "legacy"};
+constexpr SchedMode kAltModes[] = {kHeapMode, kLegacyMode};
+
+TimedTrace run_flood(const Graph& g, std::uint64_t seed, SchedMode mode,
                      Probe* probe, std::size_t* steps = nullptr) {
   Executor exec({.horizon = seconds(10),
                  .seed = seed,
-                 .legacy_scan = legacy,
+                 .legacy_scan = mode.legacy,
+                 .heap_calendar = mode.heap,
                  .probes = probe ? std::vector<Probe*>{probe}
                                  : std::vector<Probe*>{}});
   ChannelConfig cc;
@@ -87,32 +102,44 @@ TimedTrace run_flood(const Graph& g, std::uint64_t seed, bool legacy,
   return exec.events();
 }
 
-TEST(SchedulerEquivalence, FloodRingTracesMatchLegacy) {
+TEST(SchedulerEquivalence, FloodRingTracesMatchAcrossSchedulers) {
   for (std::uint64_t seed : {1u, 7u, 42u, 2024u}) {
-    std::size_t steps_new = 0, steps_old = 0;
-    const auto a = run_flood(Graph::ring(8), seed, false, nullptr, &steps_new);
-    const auto b = run_flood(Graph::ring(8), seed, true, nullptr, &steps_old);
-    EXPECT_EQ(steps_new, steps_old) << "seed " << seed;
-    EXPECT_EQ(normalized(a), normalized(b)) << "seed " << seed;
+    std::size_t steps_ref = 0;
+    const auto ref =
+        run_flood(Graph::ring(8), seed, kWheelMode, nullptr, &steps_ref);
+    for (const SchedMode& mode : kAltModes) {
+      std::size_t steps = 0;
+      const auto got = run_flood(Graph::ring(8), seed, mode, nullptr, &steps);
+      EXPECT_EQ(steps_ref, steps) << mode.name << " seed " << seed;
+      EXPECT_EQ(normalized(ref), normalized(got))
+          << mode.name << " seed " << seed;
+    }
   }
 }
 
-TEST(SchedulerEquivalence, FloodCompleteGraphTracesMatchLegacy) {
-  const auto a = run_flood(Graph::complete(6), 42, false, nullptr);
-  const auto b = run_flood(Graph::complete(6), 42, true, nullptr);
-  EXPECT_EQ(normalized(a), normalized(b));
+TEST(SchedulerEquivalence, FloodCompleteGraphTracesMatchAcrossSchedulers) {
+  for (std::uint64_t seed : {7u, 42u, 99u}) {
+    const auto ref = run_flood(Graph::complete(6), seed, kWheelMode, nullptr);
+    for (const SchedMode& mode : kAltModes) {
+      const auto got = run_flood(Graph::complete(6), seed, mode, nullptr);
+      EXPECT_EQ(normalized(ref), normalized(got))
+          << mode.name << " seed " << seed;
+    }
+  }
 }
 
-TEST(SchedulerEquivalence, ProbeSequencesMatchLegacy) {
-  RecordingProbe fast;
-  RecordingProbe slow;
-  run_flood(Graph::ring(6), 42, false, &fast);
-  run_flood(Graph::ring(6), 42, true, &slow);
-  EXPECT_FALSE(fast.text().empty());
-  EXPECT_EQ(fast.text(), slow.text());
+TEST(SchedulerEquivalence, ProbeSequencesMatchAcrossSchedulers) {
+  RecordingProbe wheel;
+  run_flood(Graph::ring(6), 42, kWheelMode, &wheel);
+  EXPECT_FALSE(wheel.text().empty());
+  for (const SchedMode& mode : kAltModes) {
+    RecordingProbe probe;
+    run_flood(Graph::ring(6), 42, mode, &probe);
+    EXPECT_EQ(wheel.text(), probe.text()) << mode.name;
+  }
 }
 
-RwRunConfig rw_cfg(std::uint64_t seed, bool legacy) {
+RwRunConfig rw_cfg(std::uint64_t seed, SchedMode mode) {
   RwRunConfig cfg;
   cfg.num_nodes = 3;
   cfg.d1 = microseconds(20);
@@ -123,88 +150,120 @@ RwRunConfig rw_cfg(std::uint64_t seed, bool legacy) {
   cfg.think_max = microseconds(300);
   cfg.horizon = seconds(5);
   cfg.seed = seed;
-  cfg.legacy_scan = legacy;
+  cfg.legacy_scan = mode.legacy;
+  cfg.heap_calendar = mode.heap;
   return cfg;
 }
 
-TEST(SchedulerEquivalence, RwTimedTracesMatchLegacy) {
-  const auto a = run_rw_timed(rw_cfg(42, false));
-  const auto b = run_rw_timed(rw_cfg(42, true));
-  EXPECT_EQ(normalized(a.events), normalized(b.events));
-}
-
-TEST(SchedulerEquivalence, RwClockTracesMatchLegacy) {
-  ZigzagDrift d1(0.3), d2(0.3);
-  const auto a = run_rw_clock(rw_cfg(42, false), d1);
-  const auto b = run_rw_clock(rw_cfg(42, true), d2);
-  EXPECT_EQ(normalized(a.events), normalized(b.events));
-}
-
-TEST(SchedulerEquivalence, RwMmtTracesMatchLegacy) {
-  PerfectDrift drift;
-  const auto a = run_rw_mmt(rw_cfg(42, false), drift, microseconds(10), 5);
-  const auto b = run_rw_mmt(rw_cfg(42, true), drift, microseconds(10), 5);
-  EXPECT_EQ(normalized(a.events), normalized(b.events));
-}
-
-// The bound-slack observatory is part of the schedulers' observability
-// contract: for the same seed the calendar scheduler and the legacy polling
-// loop must report identical min-slack summaries, not just identical traces.
-TEST(SchedulerEquivalence, SlackSummariesMatchLegacy) {
-  MetricsRegistry reg_new, reg_old;
-  ObsOptions oo_new, oo_old;
-  oo_new.registry = &reg_new;
-  oo_new.slack = true;
-  oo_old.registry = &reg_old;
-  oo_old.slack = true;
-
-  RwRunConfig cfg_new = rw_cfg(42, false);
-  cfg_new.obs = &oo_new;
-  RwRunConfig cfg_old = rw_cfg(42, true);
-  cfg_old.obs = &oo_old;
-
-  ZigzagDrift da(0.3), db(0.3);
-  const auto a = run_rw_clock(cfg_new, da);
-  const auto b = run_rw_clock(cfg_old, db);
-
-  ASSERT_LT(a.min_slack, kTimeMax);  // the observatory measured something
-  EXPECT_GE(a.min_slack, 0);
-  EXPECT_EQ(a.min_slack, b.min_slack);
-  EXPECT_EQ(a.min_slack_ceps, b.min_slack_ceps);
-  EXPECT_EQ(a.min_slack_delivery, b.min_slack_delivery);
-  EXPECT_EQ(a.min_slack_thm47, b.min_slack_thm47);
-  EXPECT_EQ(a.min_slack_mmt, b.min_slack_mmt);
-  EXPECT_EQ(a.slack_violations, b.slack_violations);
-
-  // The aggregate histograms agree sample-for-sample, too.
-  for (const char* name :
-       {"slack.ceps_ns", "slack.delivery_ns", "slack.thm47_ns"}) {
-    const Histogram* ha = reg_new.find_histogram(name);
-    const Histogram* hb = reg_old.find_histogram(name);
-    ASSERT_NE(ha, nullptr) << name;
-    ASSERT_NE(hb, nullptr) << name;
-    EXPECT_EQ(ha->count(), hb->count()) << name;
-    EXPECT_EQ(ha->sum(), hb->sum()) << name;
-    EXPECT_EQ(ha->buckets(), hb->buckets()) << name;
+TEST(SchedulerEquivalence, RwTimedTracesMatchAcrossSchedulers) {
+  for (std::uint64_t seed : {7u, 42u, 99u}) {
+    const auto ref = run_rw_timed(rw_cfg(seed, kWheelMode));
+    for (const SchedMode& mode : kAltModes) {
+      const auto got = run_rw_timed(rw_cfg(seed, mode));
+      EXPECT_EQ(normalized(ref.events), normalized(got.events))
+          << mode.name << " seed " << seed;
+    }
   }
 }
 
-TEST(SchedulerEquivalence, QueueClockTracesMatchLegacy) {
-  QueueRunConfig qc;
-  qc.num_nodes = 3;
-  qc.d1 = microseconds(20);
-  qc.d2 = microseconds(250);
-  qc.eps = microseconds(40);
-  qc.ops_per_node = 8;
-  qc.think_max = microseconds(300);
-  qc.horizon = seconds(5);
-  qc.seed = 7;
-  ZigzagDrift d1(0.3), d2(0.3);
-  qc.legacy_scan = false;
-  const auto a = run_queue_clock(qc, d1);
-  qc.legacy_scan = true;
-  const auto b = run_queue_clock(qc, d2);
-  EXPECT_EQ(normalized(a.events), normalized(b.events));
+TEST(SchedulerEquivalence, RwClockTracesMatchAcrossSchedulers) {
+  for (std::uint64_t seed : {7u, 42u, 99u}) {
+    ZigzagDrift dref(0.3);
+    const auto ref = run_rw_clock(rw_cfg(seed, kWheelMode), dref);
+    for (const SchedMode& mode : kAltModes) {
+      ZigzagDrift d(0.3);
+      const auto got = run_rw_clock(rw_cfg(seed, mode), d);
+      EXPECT_EQ(normalized(ref.events), normalized(got.events))
+          << mode.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(SchedulerEquivalence, RwMmtTracesMatchAcrossSchedulers) {
+  PerfectDrift drift;
+  for (std::uint64_t seed : {7u, 42u, 99u}) {
+    const auto ref =
+        run_rw_mmt(rw_cfg(seed, kWheelMode), drift, microseconds(10), 5);
+    for (const SchedMode& mode : kAltModes) {
+      const auto got = run_rw_mmt(rw_cfg(seed, mode), drift, microseconds(10), 5);
+      EXPECT_EQ(normalized(ref.events), normalized(got.events))
+          << mode.name << " seed " << seed;
+    }
+  }
+}
+
+// The bound-slack observatory is part of the schedulers' observability
+// contract: for the same seed all three scheduler arms must report identical
+// min-slack summaries, not just identical traces.
+TEST(SchedulerEquivalence, SlackSummariesMatchAcrossSchedulers) {
+  struct SlackRun {
+    RwRunResult result;
+    MetricsRegistry registry;
+  };
+  auto run = [](SchedMode mode) {
+    auto out = std::make_unique<SlackRun>();
+    ObsOptions oo;
+    oo.registry = &out->registry;
+    oo.slack = true;
+    RwRunConfig cfg = rw_cfg(42, mode);
+    cfg.obs = &oo;
+    ZigzagDrift drift(0.3);
+    out->result = run_rw_clock(cfg, drift);
+    return out;
+  };
+
+  const auto ref = run(kWheelMode);
+  const auto& a = ref->result;
+  ASSERT_LT(a.min_slack, kTimeMax);  // the observatory measured something
+  EXPECT_GE(a.min_slack, 0);
+  for (const SchedMode& mode : kAltModes) {
+    const auto alt = run(mode);
+    const auto& b = alt->result;
+    EXPECT_EQ(a.min_slack, b.min_slack) << mode.name;
+    EXPECT_EQ(a.min_slack_ceps, b.min_slack_ceps) << mode.name;
+    EXPECT_EQ(a.min_slack_delivery, b.min_slack_delivery) << mode.name;
+    EXPECT_EQ(a.min_slack_thm47, b.min_slack_thm47) << mode.name;
+    EXPECT_EQ(a.min_slack_mmt, b.min_slack_mmt) << mode.name;
+    EXPECT_EQ(a.slack_violations, b.slack_violations) << mode.name;
+
+    // The aggregate histograms agree sample-for-sample, too.
+    for (const char* name :
+         {"slack.ceps_ns", "slack.delivery_ns", "slack.thm47_ns"}) {
+      const Histogram* ha = ref->registry.find_histogram(name);
+      const Histogram* hb = alt->registry.find_histogram(name);
+      ASSERT_NE(ha, nullptr) << name;
+      ASSERT_NE(hb, nullptr) << name;
+      EXPECT_EQ(ha->count(), hb->count()) << mode.name << " " << name;
+      EXPECT_EQ(ha->sum(), hb->sum()) << mode.name << " " << name;
+      EXPECT_EQ(ha->buckets(), hb->buckets()) << mode.name << " " << name;
+    }
+  }
+}
+
+TEST(SchedulerEquivalence, QueueClockTracesMatchAcrossSchedulers) {
+  auto run = [](std::uint64_t seed, SchedMode mode) {
+    QueueRunConfig qc;
+    qc.num_nodes = 3;
+    qc.d1 = microseconds(20);
+    qc.d2 = microseconds(250);
+    qc.eps = microseconds(40);
+    qc.ops_per_node = 8;
+    qc.think_max = microseconds(300);
+    qc.horizon = seconds(5);
+    qc.seed = seed;
+    qc.legacy_scan = mode.legacy;
+    qc.heap_calendar = mode.heap;
+    ZigzagDrift drift(0.3);
+    return run_queue_clock(qc, drift);
+  };
+  for (std::uint64_t seed : {7u, 11u, 42u}) {
+    const auto ref = run(seed, kWheelMode);
+    for (const SchedMode& mode : kAltModes) {
+      const auto got = run(seed, mode);
+      EXPECT_EQ(normalized(ref.events), normalized(got.events))
+          << mode.name << " seed " << seed;
+    }
+  }
 }
 
 // --- composition-compatibility and hide() edge cases ----------------------
@@ -300,26 +359,28 @@ class Spinner final : public Machine {
 };
 
 TEST(SchedulerCap, CapWithStopConditionReportsInsteadOfThrowing) {
-  for (bool legacy : {false, true}) {
+  for (const SchedMode& mode : {kWheelMode, kHeapMode, kLegacyMode}) {
     Executor exec({.horizon = seconds(1),
                    .max_events = 100,
-                   .legacy_scan = legacy});
+                   .legacy_scan = mode.legacy,
+                   .heap_calendar = mode.heap});
     exec.add_owned(std::make_unique<Spinner>());
     exec.stop_when([] { return false; });  // never fires; cap wins the race
     const auto report = exec.run();
-    EXPECT_TRUE(report.hit_event_cap);
-    EXPECT_EQ(report.steps, 100u);
-    EXPECT_FALSE(report.quiesced);
+    EXPECT_TRUE(report.hit_event_cap) << mode.name;
+    EXPECT_EQ(report.steps, 100u) << mode.name;
+    EXPECT_FALSE(report.quiesced) << mode.name;
   }
 }
 
 TEST(SchedulerCap, CapWithoutStopConditionStillThrows) {
-  for (bool legacy : {false, true}) {
+  for (const SchedMode& mode : {kWheelMode, kHeapMode, kLegacyMode}) {
     Executor exec({.horizon = seconds(1),
                    .max_events = 100,
-                   .legacy_scan = legacy});
+                   .legacy_scan = mode.legacy,
+                   .heap_calendar = mode.heap});
     exec.add_owned(std::make_unique<Spinner>());
-    EXPECT_THROW(exec.run(), CheckError);
+    EXPECT_THROW(exec.run(), CheckError) << mode.name;
   }
 }
 

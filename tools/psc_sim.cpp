@@ -251,7 +251,12 @@ class ObsSetup {
               << " fanout_inputs=" << s.fanout_inputs
               << " fanout_classify=" << s.fanout_classify_calls
               << " kind_hits=" << s.kind_hits
-              << " kind_resolves=" << s.kind_resolves << "\n";
+              << " kind_resolves=" << s.kind_resolves
+              << " kind_memo_hits=" << s.kind_memo_hits << "\n"
+              << "  wheel: inserts=" << s.wheel.inserts
+              << " due=" << s.wheel.due << " stale=" << s.wheel.stale_drops
+              << " cascades=" << s.wheel.cascades
+              << " compactions=" << s.wheel.compactions << "\n";
   }
 
   MetricsRegistry registry_;
