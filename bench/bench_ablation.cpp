@@ -109,7 +109,7 @@ TagOutcome tag_echo(bool with_buffers, Duration eps, Duration d2,
     exec.hide("SENDMSG");
     exec.hide("RECVMSG");
   }
-  exec.run();
+  bench::warn_event_cap(exec.run().hit_event_cap, "tag_echo");
   return {p0->violations + p1->violations, p0->received + p1->received};
 }
 
@@ -207,7 +207,7 @@ int main() {
       cc.d2 = d2;
       cc.seed = seed;
       add_clock_system(exec, Graph::complete(5), cc, std::move(nodes), trajs);
-      exec.run();
+      bench::warn_event_cap(exec.run().hit_event_cap, "election cell");
       int claims = 0;
       bool unanimous = true;
       for (auto* h : handles) {
@@ -263,7 +263,7 @@ int main() {
       cc.policy = [d2] { return DelayPolicy::fixed(d2 / 2); };
       cc.seed = seed;
       add_clock_system(exec, Graph::complete(2), cc, std::move(algos), trajs);
-      exec.run();
+      bench::warn_event_cap(exec.run().hit_event_cap, "suspicion cell");
       return mp->suspected();
     };
     Table table({"timeout rule", "runs", "false suspicions"});

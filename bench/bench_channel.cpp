@@ -47,7 +47,7 @@ ChannelOutcome drive(const char* policy_name, Duration d1, Duration d2,
                                       Rng(seed));
   Channel* chp = ch.get();
   exec.add_owned(std::move(ch));
-  exec.run();
+  bench::warn_event_cap(exec.run().hit_event_cap, std::string("channel drive ") + policy_name);
 
   ChannelOutcome out;
   out.sent = chp->stats().sent;

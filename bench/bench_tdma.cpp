@@ -39,7 +39,7 @@ TdmaOutcome run_tdma(int n, Duration slot, Duration guard, Duration eps,
         std::make_shared<ClockTrajectory>(
             drift.generate(eps, seconds(10), r))));
   }
-  exec.run();
+  bench::warn_event_cap(exec.run().hit_event_cap, "tdma n=" + std::to_string(n));
   const auto leases = extract_leases(exec.events());
   TdmaOutcome out;
   out.leases = leases.size();

@@ -49,6 +49,15 @@ inline void shape(bool ok, const std::string& claim) {
 // Nanoseconds -> microseconds for compact tables.
 inline double us(double ns) { return ns / 1000.0; }
 
+// One-line loud warning when a run stopped at ExecutorOptions::max_events
+// instead of its horizon (ExecutorReport::hit_event_cap): the numbers then
+// describe a truncated prefix, which used to pass silently.
+inline void warn_event_cap(bool hit_event_cap, const std::string& context) {
+  if (!hit_event_cap) return;
+  std::cerr << "warning: " << context
+            << " hit the max_events cap — results cover a truncated run\n";
+}
+
 // Shared registry all instrumented runs of this bench aggregate into.
 inline MetricsRegistry& metrics() {
   static MetricsRegistry reg;

@@ -18,22 +18,55 @@
 #                loop with the online invariant probe attached — and gates
 #                its overhead < 5% ns/event on configs >= 128 machines.
 #
+# Flight recorder (see docs/OBSERVABILITY.md "Flight recorder"):
+#   PSC_FLIGHT=1 bench_executor adds a flight-recorder arm to the machine
+#                sweep — the scheduler loop writing every event into the
+#                binary ring with latency histograms on — and gates its
+#                overhead < 25% ns/event at >= 65,536 machines, < 50%
+#                above 262,144 where the recorder's per-machine latency
+#                state outgrows the cache (measured ~18% at 65,536, ~30%
+#                at 1M, vs ~78% for the record_events trace stream; see
+#                docs/OBSERVABILITY.md "Flight recorder"). psc-sim
+#                exposes the same recorder as --flight[=PATH].
+#
 # Sweep size (see docs/EXECUTOR.md "Memory layout & timing wheel"):
 #   PSC_BENCH_MAX_MACHINES=N   caps the flood 1k->1M machine sweep at N
 #                              registered machines (default 1048576; CI
 #                              uses 65536; 0 skips the sweep). The wheel
-#                              flatness gate needs N >= 65536.
+#                              flatness gate needs N >= 65536. N must be 0
+#                              or a power of two: the sweep doubles from
+#                              512, so any other value silently rounds the
+#                              sweep down — rejected here instead.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 REPEATS="${PSC_BENCH_REPEATS:-5}"
 
+MAX_MACHINES="${PSC_BENCH_MAX_MACHINES:-}"
+if [[ -n "$MAX_MACHINES" ]]; then
+  if ! [[ "$MAX_MACHINES" =~ ^[0-9]+$ ]] ||
+     { [[ "$MAX_MACHINES" -ne 0 ]] &&
+       [[ $((MAX_MACHINES & (MAX_MACHINES - 1))) -ne 0 ]]; }; then
+    echo "bench.sh: PSC_BENCH_MAX_MACHINES=$MAX_MACHINES must be 0 or a" \
+         "power of two (the sweep doubles 512 -> 1M)" >&2
+    exit 2
+  fi
+fi
+
 cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 cmake --build "$BUILD_DIR" -j --target bench_executor
 
-# PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE reach the binary
-# through the environment as-is (empty/unset = off).
-"$BUILD_DIR"/bench/bench_executor --repeats "$REPEATS" \
+BENCH_BIN="$BUILD_DIR/bench/bench_executor"
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "bench.sh: $BENCH_BIN missing after a successful build —" \
+       "cmake target 'bench_executor' did not produce it (stale cache?" \
+       "try removing $BUILD_DIR and re-running)" >&2
+  exit 2
+fi
+
+# PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE / PSC_FLIGHT reach
+# the binary through the environment as-is (empty/unset = off).
+"$BENCH_BIN" --repeats "$REPEATS" \
   --json BENCH_executor.json

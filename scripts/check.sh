@@ -14,6 +14,11 @@
 #   5. psc-report: the CI sweep (configs/rw_sweep_smoke.cfg) with the
 #      bound-slack observatory attached — any cell with negative bound
 #      slack or a linearizability failure makes psc-report exit nonzero.
+#   6. flight replay: record a flood window into the binary flight ring
+#      (psc-sim --flight), decode it with psc-flight, and replay the
+#      decoded window through psc-lint — all under ASan+UBSan, so the
+#      record path, the snapshot codec, and the decoder are
+#      sanitizer-clean and the recorded window lints like a live trace.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -100,5 +105,24 @@ cmake --build "$BUILD_DIR" -j --target psc-report
 # theoretical bound) or fails the linearizability check.
 "$BUILD_DIR"/tools/psc-report --sweep=configs/rw_sweep_smoke.cfg \
   --markdown="$LINT_TMP/report_rw.md" --json="$LINT_TMP/BENCH_rw.json" --quiet
+
+# --- lane 6: flight-recorder replay ------------------------------------------
+
+cmake --build "$BUILD_DIR" -j --target psc-flight
+
+# Record a window into the binary ring (sanitizers watch the record path),
+# decode the snapshot back to a JSONL trace, and lint the decoded window
+# against the same bounds lane 4 used for the live trace. The run is clean,
+# so the snapshot here is the run-end dump, not a violation dump. The .fly
+# lands under the build dir (not the mktemp dir) so CI can upload it as an
+# artifact when a later step fails.
+FLY_DIR="$BUILD_DIR/flight"
+mkdir -p "$FLY_DIR"
+"$BUILD_DIR"/tools/psc-sim flood --nodes=4 --lint \
+  --flight="$FLY_DIR/flood.fly" >/dev/null
+"$BUILD_DIR"/tools/psc-flight "$FLY_DIR/flood.fly" --jsonl \
+  --out="$FLY_DIR/flood_flight.jsonl"
+"$BUILD_DIR"/tools/psc-lint --trace="$FLY_DIR/flood_flight.jsonl" \
+  --d1_us=20 --d2_us=300 --nodes=4
 
 echo "check.sh: all lanes passed"

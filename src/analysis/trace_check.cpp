@@ -1,13 +1,23 @@
 #include "analysis/trace_check.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "analysis/windows.hpp"
 #include "core/relations.hpp"
 
 namespace psc {
 
-TraceChecker::TraceChecker(TraceCheckOptions opts) : opts_(opts) {}
+TraceChecker::TraceChecker(TraceCheckOptions opts) : opts_(std::move(opts)) {}
+
+void TraceChecker::emit(DiagCode code, std::string message,
+                        std::string machine, Time time) {
+  if (opts_.on_violation && default_severity(code) == Severity::kError) {
+    opts_.on_violation(
+        Diagnostic{code, Severity::kError, message, machine, time});
+  }
+  report_.add(code, std::move(message), std::move(machine), time);
+}
 
 void TraceChecker::observe(const TimedEvent& e) {
   // PSC101: recorded clock readings stay within the C_eps band (plus ell
@@ -22,7 +32,7 @@ void TraceChecker::observe(const TimedEvent& e) {
       msg << "clock reads " << format_time(e.clock) << " at real time "
           << format_time(e.time) << " (skew " << format_time(skew)
           << " > band " << format_time(w.hi + opts_.slack) << ")";
-      report_.add(DiagCode::kClockDrift, msg.str(), e.action.name, e.time);
+      emit(DiagCode::kClockDrift, msg.str(), e.action.name, e.time);
     }
   }
 
@@ -88,7 +98,7 @@ void TraceChecker::check_channel(const TimedEvent& e, NameClass nc) {
     case NameClass::kERecv: {
       MsgRecord* r = msgs_.find(uid);
       if (r == nullptr || r->esend_time < 0) {
-        report_.add(DiagCode::kUnknownDelivery,
+        emit(DiagCode::kUnknownDelivery,
                     "ERECVMSG of uid " + std::to_string(uid) +
                         " with no matching ESENDMSG",
                     a.name, e.time);
@@ -107,7 +117,7 @@ void TraceChecker::check_channel(const TimedEvent& e, NameClass nc) {
           msg << "uid " << uid << " delivered after " << format_time(lat)
               << ", outside [" << format_time(w.lo) << ", "
               << format_time(w.hi) << "]";
-          report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+          emit(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
         }
       }
       return;
@@ -121,7 +131,7 @@ void TraceChecker::check_recv(const TimedEvent& e, std::uint64_t uid) {
   const auto& a = e.action;
   const MsgRecord* rec = msgs_.find(uid);
   if (rec == nullptr || (rec->send_time < 0 && rec->esend_time < 0)) {
-    report_.add(DiagCode::kUnknownDelivery,
+    emit(DiagCode::kUnknownDelivery,
                 "RECVMSG of uid " + std::to_string(uid) +
                     " with no matching send",
                 a.name, e.time);
@@ -138,7 +148,7 @@ void TraceChecker::check_recv(const TimedEvent& e, std::uint64_t uid) {
         msg << "uid " << uid << " delivered after " << format_time(lat)
             << ", outside [" << format_time(w.lo) << ", " << format_time(w.hi)
             << "]";
-        report_.add(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
+        emit(DiagCode::kDeliveryWindow, msg.str(), a.name, e.time);
       }
     }
     return;
@@ -153,7 +163,7 @@ void TraceChecker::check_recv(const TimedEvent& e, std::uint64_t uid) {
       msg << "uid " << uid << " released at receiver clock "
           << format_time(e.clock) << " before its send tag "
           << format_time(r.tag);
-      report_.add(DiagCode::kEarlyRelease, msg.str(), a.name, e.time);
+      emit(DiagCode::kEarlyRelease, msg.str(), a.name, e.time);
     }
     // PSC104: Theorem 4.7 — in the simulated timed execution, clock-time
     // delivery latency lies in [max(d1 - 2eps, 0), d2 + 2eps].
@@ -165,7 +175,7 @@ void TraceChecker::check_recv(const TimedEvent& e, std::uint64_t uid) {
         msg << "uid " << uid << " clock-time latency " << format_time(lat)
             << " outside [" << format_time(w.lo) << ", " << format_time(w.hi)
             << "]";
-        report_.add(DiagCode::kWidenedWindow, msg.str(), a.name, e.time);
+        emit(DiagCode::kWidenedWindow, msg.str(), a.name, e.time);
       }
     }
   }
@@ -182,7 +192,7 @@ void TraceChecker::check_mmt(const TimedEvent& e, NameClass nc) {
       msg << "node " << e.action.node << " tick gap "
           << format_time(e.time - prev) << " > ell "
           << format_time(opts_.ell);
-      report_.add(DiagCode::kBoundmapOverrun, msg.str(), "TICK", e.time);
+      emit(DiagCode::kBoundmapOverrun, msg.str(), "TICK", e.time);
     }
     last_tick_[e.action.node] = e.time;
   }
@@ -200,7 +210,7 @@ void TraceChecker::check_mmt(const TimedEvent& e, NameClass nc) {
         msg << "MMT node (owner " << e.owner << ") step gap "
             << format_time(e.time - prev) << " > ell "
             << format_time(opts_.ell);
-        report_.add(DiagCode::kBoundmapOverrun, msg.str(), e.action.name,
+        emit(DiagCode::kBoundmapOverrun, msg.str(), e.action.name,
                     e.time);
       }
     }
@@ -226,7 +236,7 @@ void TraceChecker::finalize() {
   const RelationResult rel =
       eq_within(clocked_, retimed, band, per_node_classes(opts_.num_nodes));
   if (!rel.related) {
-    report_.add(DiagCode::kOrderViolation,
+    emit(DiagCode::kOrderViolation,
                 "trace is not =eps,kappa-related to its clock retiming: " +
                     rel.why);
   }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -60,6 +61,14 @@ struct TraceCheckOptions {
   // Grid tolerance: clock trajectories are integer-nanosecond piecewise
   // lines, so clock_at()/time_first_at() round by up to a few ns.
   Duration slack = 4;
+  // Fired synchronously for every *error*-severity diagnostic as it is
+  // raised (warns and notes do not fire), before the diagnostic lands in
+  // the report. This is the dump-on-violation trigger: psc-sim and the
+  // tests hook the flight recorder here so the ring still holds the
+  // offending event when the snapshot is taken. Keep the callback cheap
+  // and reentrancy-free — it runs on the executor's record path when the
+  // checker is attached as an InvariantProbe.
+  std::function<void(const Diagnostic&)> on_violation;
 };
 
 // Streaming checker: feed events in execution order, then finalize().
@@ -101,6 +110,11 @@ class TraceChecker {
   };
   static NameClass classify_name(const std::string& name);
   NameClass name_class(const TimedEvent& e);
+
+  // report_.add plus the TraceCheckOptions::on_violation hook for
+  // error-severity codes.
+  void emit(DiagCode code, std::string message, std::string machine = "",
+            Time time = -1);
 
   void check_channel(const TimedEvent& e, NameClass nc);
   // RECVMSG leg of check_channel: physical delivery in the timed model,

@@ -90,6 +90,7 @@ Probe* RunObserver::add(std::unique_ptr<Probe> probe) {
 }
 
 void RunObserver::attach(Executor& exec) {
+  if (opts_.flight != nullptr) exec.attach_flight(opts_.flight);
   if (chrome_probe_) exec.attach_probe(chrome_probe_.get());
   if (opts_.causal != nullptr) {
     opts_.causal->set_trace(chrome());

@@ -29,6 +29,7 @@
 namespace psc {
 
 class Executor;
+class FlightRecorder;
 class InvariantProbe;
 
 struct ObsOptions {
@@ -63,10 +64,15 @@ struct ObsOptions {
   // probe, so each boundary snapshot sees that instant's final state). The
   // caller keeps it to export or inspect the windows after the run.
   TimeSeries* timeseries = nullptr;
+  // Caller-owned binary flight recorder (obs/flight.hpp). attach() hands it
+  // to Executor::attach_flight — not a Probe: the executor writes its ring
+  // directly from the record path. The caller keeps it to snapshot/dump or
+  // export histogram percentiles after the run.
+  FlightRecorder* flight = nullptr;
 
   bool enabled() const {
     return registry != nullptr || chrome_out != nullptr || causal != nullptr ||
-           lint != nullptr || timeseries != nullptr;
+           lint != nullptr || timeseries != nullptr || flight != nullptr;
   }
 };
 

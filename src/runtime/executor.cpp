@@ -1,10 +1,12 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string_view>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "util/check.hpp"
 
 namespace psc {
@@ -14,11 +16,18 @@ namespace {
 constexpr auto kWakeLater = [](const auto& a, const auto& b) {
   return a.t > b.t;
 };
+
+std::uint64_t next_exec_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
 }  // namespace
 
 Executor::Executor(ExecutorOptions options)
     : options_(std::move(options)),
       use_wheel_(!options_.legacy_scan && !options_.heap_calendar),
+      exec_uid_(next_exec_uid()),
+      flight_(options_.flight),
       rng_(options_.seed),
       probes_(std::move(options_.probes)) {}
 
@@ -79,6 +88,11 @@ void Executor::stop_when(std::function<bool()> predicate) {
 void Executor::attach_probe(Probe* probe) {
   PSC_CHECK(probe != nullptr, "null probe");
   probes_.push_back(probe);
+}
+
+void Executor::attach_flight(FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ != nullptr) flight_->bind(exec_uid_);
 }
 
 // --- interned action kinds and the subscription index ---------------------
@@ -277,6 +291,10 @@ void Executor::record_event(TimedEvent& e, std::size_t machine,
   e.clock = owner->clocked() ? owner->clock_reading(now_) : kNoClockTag;
   e.owner = static_cast<int>(machine);
   e.visible = visible && role == ActionRole::kOutput;
+  // The flight ring is fed before the probes: when an InvariantProbe raises
+  // a PSC1xx violation from its on_event and a dump hook fires, the
+  // snapshot already contains the offending event.
+  if (flight_ != nullptr) flight_->record(e);
   for (Probe* p : event_probes_) p->on_event(e, *owner);
   if (options_.record_events) events_.push_back(std::move(e));
 }
@@ -386,7 +404,7 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
     }
   }
 
-  if (options_.record_events || !event_probes_.empty()) {
+  if (sink_events_) {
     record_event(ev, machine, role, !k.hidden);
   }
   ++steps_;
@@ -528,7 +546,7 @@ void Executor::execute(const Candidate& c) {
       if (r == ActionRole::kInput) other->apply_input(c.action, now_);
     }
   }
-  if (options_.record_events || !event_probes_.empty()) {
+  if (sink_events_) {
     TimedEvent ev;
     ev.action = c.action;  // the legacy loop keeps its candidate list intact
     record_event(ev, c.machine, role,
@@ -627,6 +645,9 @@ ExecutorReport Executor::run() {
     if (p->observes_events()) event_probes_.push_back(p);
     if (p->observes_time()) time_probes_.push_back(p);
   }
+  sink_events_ =
+      options_.record_events || !event_probes_.empty() || flight_ != nullptr;
+  if (flight_ != nullptr) flight_->bind(exec_uid_);
   // First advance always notifies (and learns each probe's real wake).
   time_probe_wake_ = time_probes_.empty() ? kTimeMax : 0;
   for (Probe* p : probes_) p->on_run_begin(now_);

@@ -47,6 +47,8 @@
 
 namespace psc {
 
+class FlightRecorder;
+
 struct ExecutorOptions {
   Time horizon = seconds(1);       // stop once now would exceed this
   std::uint64_t seed = 1;          // adversary seed (tie-breaking)
@@ -70,6 +72,11 @@ struct ExecutorOptions {
   // fail fast (PSC_CHECK) on any error-severity diagnostic. Also enabled by
   // setting the PSC_VALIDATE environment variable to anything but "0".
   bool validate = false;
+  // Always-on binary flight recorder (obs/flight.hpp): every executed
+  // event is written as one fixed-size POD into the recorder's ring
+  // buffers, independently of record_events and the probe list. Non-owning;
+  // attach_flight() is the post-construction equivalent.
+  FlightRecorder* flight = nullptr;
 };
 
 // Self-metrics of the calendar/dirty-set scheduler, maintained as plain
@@ -166,6 +173,12 @@ class Executor {
   // ExecutorOptions.probes — both land in the same list, so they cannot
   // drift apart). Non-owning; the probe must outlive the run.
   void attach_probe(Probe* probe);
+
+  // Attaches (or, with nullptr, detaches) the binary flight recorder —
+  // same slot as ExecutorOptions::flight. Non-owning; must outlive the
+  // run. run() bind()s the recorder to this executor instance so its
+  // per-executor kind memo resets when a recorder is reused across runs.
+  void attach_flight(FlightRecorder* flight);
 
   // Lints the composition as assembled so far (all machines added, hides
   // applied) without running it; see src/analysis/lint.hpp for the codes.
@@ -272,6 +285,15 @@ class Executor {
 
   ExecutorOptions options_;
   bool use_wheel_ = true;  // !legacy_scan && !heap_calendar
+  // Process-unique instance id handed to FlightRecorder::bind (recorders
+  // memoize per-executor kind ids; pointer identity is not enough because
+  // a freed executor's address can be reused).
+  std::uint64_t exec_uid_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  // record_event has a consumer this run (trace recording, event probes,
+  // or the flight recorder); computed once at run() start so the per-event
+  // branch is one boolean load.
+  bool sink_events_ = false;
   Rng rng_;
   std::vector<Probe*> probes_;
   // probes_ filtered by the observes_events()/observes_time() hints,

@@ -354,6 +354,12 @@ TEST(Experiment, RunSweepProducesGatedCells) {
   // Lemma 6.1/6.2 bounds for L.
   EXPECT_EQ(cell.bound_read, cell.c + cell.delta);
   EXPECT_EQ(cell.bound_write, cell.d2 - cell.c);
+  // The flight recorder matched deliveries: p99 channel latency sits in
+  // the configured [d1, d2] band (log-bucket quantization rounds up by
+  // < one sub-bucket, ~3%).
+  ASSERT_TRUE(std::isfinite(cell.chan_p99));
+  EXPECT_GE(cell.chan_p99, static_cast<double>(cell.d1));
+  EXPECT_LE(cell.chan_p99, static_cast<double>(cell.d2) * 1.04);
   // Slack was measured and the gate passes.
   ASSERT_LT(result.min_slack(), kTimeMax);
   EXPECT_GE(result.min_slack(), 0);
@@ -377,6 +383,7 @@ TEST(Experiment, MarkdownAndJsonRenderTheCostTable) {
   const std::string table = md.str();
   EXPECT_NE(table.find("| algo |"), std::string::npos);
   EXPECT_NE(table.find("| L |"), std::string::npos);
+  EXPECT_NE(table.find("chan p99"), std::string::npos);
   EXPECT_NE(table.find("min slack"), std::string::npos);
   EXPECT_NE(table.find("all cells linearizable: yes"), std::string::npos);
 
@@ -385,6 +392,7 @@ TEST(Experiment, MarkdownAndJsonRenderTheCostTable) {
   const std::string json = js.str();
   EXPECT_EQ(json.rfind("{\"bench\":\"psc_report\",\"algo\":\"L\"", 0), 0u);
   EXPECT_NE(json.find("\"min_slack_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"chan_p99_ns\":"), std::string::npos);
   EXPECT_NE(json.find("\"linearizable\":true"), std::string::npos);
   EXPECT_NE(json.find("\"slack_violations\":0"), std::string::npos);
   // One JSONL row per cell.

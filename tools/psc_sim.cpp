@@ -36,6 +36,14 @@
 //                        error aborts) and replay the run online through the
 //                        invariant checker (PSC1xx) with the scenario's own
 //                        eps/d1/d2/ell; errors fail the exit status
+//
+// Flight recorder (docs/OBSERVABILITY.md):
+//   --flight[=PATH]      keep an always-on binary ring of recent events and
+//                        write a .fly snapshot (default psc-flight.fly) at
+//                        run end — or immediately, at the first PSC1xx
+//                        error, when --lint is also set (dump-on-violation).
+//                        Decode snapshots with psc-flight.
+//   --flight-ring=N      per-shard ring capacity in records [8192]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -48,6 +56,7 @@
 #include "clock/discipline.hpp"
 #include "core/trace_io.hpp"
 #include "mmt/mmt_system.hpp"
+#include "obs/flight.hpp"
 #include "obs/instrument.hpp"
 #include "runtime/system.hpp"
 #include "rw/harness.hpp"
@@ -149,6 +158,19 @@ class ObsSetup {
       opts_.causal = &causal_;
     }
     if (exec_stats_) opts_.exec_stats = true;
+    if (args.count("flight") > 0) {
+      flight_path_ = gets(args, "flight", "1");
+      // Bare --flight parses as "1": fall back to the default snapshot name.
+      if (flight_path_ == "1") flight_path_ = "psc-flight.fly";
+      FlightOptions fo;
+      if (args.count("flight-ring") > 0) {
+        fo.ring_capacity = static_cast<std::size_t>(
+            geti(args, "flight-ring",
+                 static_cast<long long>(fo.ring_capacity)));
+      }
+      flight_.emplace(fo);
+      opts_.flight = &*flight_;
+    }
   }
 
   const ObsOptions* options() const {
@@ -156,19 +178,39 @@ class ObsSetup {
   }
 
   // Attaches an online invariant checker (analysis/trace_check.hpp) to the
-  // run. Call before handing options() to the harness.
+  // run. Call before handing options() to the harness. With --flight also
+  // set, hooks dump-on-violation: the first PSC1xx error snapshots the ring
+  // (which still holds the offending event) before the run continues.
   void enable_lint(const TraceCheckOptions& opts) {
-    lint_.emplace(opts);
+    TraceCheckOptions lo = opts;
+    if (flight_.has_value()) {
+      lo.on_violation = [this](const Diagnostic& d) { dump_violation(d); };
+    }
+    lint_.emplace(lo);
     opts_.lint = &*lint_;
   }
   bool lint_enabled() const { return lint_.has_value(); }
-  // False when the checker reported error-severity diagnostics.
+  // False when the checker reported error-severity diagnostics, or the run
+  // was cut short by the event cap (its trace is unfit to certify).
   bool lint_ok() const {
-    return !lint_.has_value() || !lint_->report().has_errors();
+    if (!lint_.has_value()) return true;
+    return !lint_->report().has_errors() && !capped_;
   }
 
   void finish(const TimedTrace& events, Time end_time,
               const ExecutorReport* report = nullptr) {
+    if (report != nullptr && report->hit_event_cap) {
+      capped_ = true;
+      std::cerr << "warning: run hit the max_events cap before its horizon"
+                   " — results cover a truncated prefix\n";
+      // A truncated run is exactly what the recorder exists to explain:
+      // snapshot the tail even though no invariant fired.
+      if (flight_.has_value() && !flight_dumped_) dump_flight("event cap");
+    }
+    if (flight_.has_value()) {
+      if (opts_.registry != nullptr) flight_->export_metrics(registry_);
+      if (!flight_dumped_) dump_flight("run end");
+    }
     if (opts_.registry != nullptr) {
       registry_.gauge("run.end_time_ns").set(static_cast<double>(end_time));
       registry_.counter("run.events").add(events.size());
@@ -198,6 +240,24 @@ class ObsSetup {
   }
 
  private:
+  void dump_violation(const Diagnostic& d) {
+    if (flight_dumped_) return;  // keep the window around the *first* error
+    std::cerr << "flight: dumping on violation [" << to_string(d.code) << "] "
+              << d.message << "\n";
+    dump_flight("violation");
+  }
+
+  void dump_flight(const char* why) {
+    flight_dumped_ = true;
+    if (!flight_->dump(flight_path_)) {
+      std::cerr << "cannot write " << flight_path_ << "\n";
+      std::exit(2);
+    }
+    std::cout << "flight snapshot (" << flight_->retained() << " of "
+              << flight_->total_recorded() << " events, " << why
+              << ") written to " << flight_path_ << "\n";
+  }
+
   void finish_causal(Time end_time) {
     const CausalDag& dag = causal_.dag();
     if (!causal_path_.empty()) {
@@ -262,9 +322,13 @@ class ObsSetup {
   MetricsRegistry registry_;
   CausalTraceProbe causal_;
   std::optional<InvariantProbe> lint_;
+  std::optional<FlightRecorder> flight_;
   std::ofstream chrome_;
   std::string metrics_path_, chrome_path_, causal_path_, critical_sink_;
+  std::string flight_path_;
   bool exec_stats_ = false;
+  bool flight_dumped_ = false;
+  bool capped_ = false;
   ObsOptions opts_;
 };
 
