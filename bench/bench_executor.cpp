@@ -27,9 +27,11 @@
 // (BENCH_executor.json); `--smoke` shrinks the sweep for CI.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,7 @@
 #include "common.hpp"
 #include "obs/flight.hpp"
 #include "obs/observatory.hpp"
+#include "obs/prof.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/system.hpp"
 #include "rw/queue.hpp"
@@ -49,6 +52,13 @@ namespace psc::bench {
 namespace {
 
 constexpr std::uint64_t kSeed = 42;
+
+// Profiler sampling period for the PSC_PROFILE sweep arm. PSC_PROF_SAMPLE=N
+// overrides the default (set in main, same contract as the harness-based
+// benches in bench/common.hpp); the overhead/conservation gates are
+// calibrated for the default 1-in-64 — N=1 is the exhaustive debugging mode
+// and will not hold the 10% overhead bar.
+std::uint32_t g_prof_sample = ProfOptions{}.sample_every;
 
 // The three scheduler arms (ExecutorOptions). "sched" rows time the
 // default wheel calendar; the sweep also times the heap calendar.
@@ -135,6 +145,11 @@ struct Arm {
   Duration min_slack = kTimeMax;  // PSC_OBS arm only
   ExecutorStats stats;  // from the last repeat (identical across repeats —
                         // fixed seed, deterministic scheduler)
+  // PSC_PROFILE arm only: the microprofiler's scaled report for the run
+  // behind ns_per_event's fold (fold() keeps the latest — deterministic
+  // work, and each report is self-consistent with its own wall).
+  ProfReport prof_report;
+  bool profiled = false;
 };
 
 // One timed run of one arm; only run() is timed. `lint` attaches an online
@@ -145,7 +160,8 @@ struct Arm {
 Arm measure_once(const std::string& workload, int n, SchedArm sched,
                  int target_events, const TraceCheckOptions* lint = nullptr,
                  const SlackOptions* slack = nullptr,
-                 const FlightOptions* flight = nullptr) {
+                 const FlightOptions* flight = nullptr,
+                 const ProfOptions* prof = nullptr) {
   Arm arm;
   auto exec = workload == "flood" ? build_flood(n, sched, target_events)
                                   : build_queue(n, sched);
@@ -153,6 +169,14 @@ Arm measure_once(const std::string& workload, int n, SchedArm sched,
   if (lint != nullptr) {
     probe = std::make_unique<InvariantProbe>(*lint);
     exec->attach_probe(probe.get());
+  }
+  // PSC_PROFILE arm: the sampling microprofiler bracketing the scheduler's
+  // hot-loop phases. Construction happens outside the timed span; report
+  // assembly after it.
+  std::unique_ptr<Profiler> profiler;
+  if (prof != nullptr) {
+    profiler = std::make_unique<Profiler>(*prof);
+    exec->attach_profiler(profiler.get());
   }
   // PSC_FLIGHT=1 arm: the always-on binary flight recorder on the record
   // path. Construction (ring allocation) happens outside the timed span.
@@ -198,6 +222,10 @@ Arm measure_once(const std::string& workload, int n, SchedArm sched,
               workload << " n=" << n << " observed negative bound slack "
                        << format_time(arm.min_slack));
   }
+  if (profiler != nullptr) {
+    arm.prof_report = profiler->report();
+    arm.profiled = true;
+  }
   arm.events = report.steps;
   arm.stats = report.stats;
   const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
@@ -228,12 +256,13 @@ constexpr int kMaxInnerRuns = 8;
 Arm measure_sample(const std::string& workload, int n, SchedArm sched,
                    int target_events, const TraceCheckOptions* lint = nullptr,
                    const SlackOptions* slack = nullptr,
-                   const FlightOptions* flight = nullptr) {
+                   const FlightOptions* flight = nullptr,
+                   const ProfOptions* prof = nullptr) {
   Arm best;
   double total_ns = 0;
   for (int i = 0; i < kMaxInnerRuns; ++i) {
     const Arm once = measure_once(workload, n, sched, target_events, lint,
-                                  slack, flight);
+                                  slack, flight, prof);
     total_ns += once.ns_per_event * static_cast<double>(once.events);
     fold(best, once);
     if (total_ns >= kMinMeasureNs) break;
@@ -242,6 +271,7 @@ Arm measure_sample(const std::string& workload, int n, SchedArm sched,
 }
 
 double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;  // zero-event/zero-cell runs report 0, not UB
   std::sort(v.begin(), v.end());
   const std::size_t n = v.size();
   return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
@@ -401,10 +431,36 @@ struct SweepRow {
   // Wheel self-metrics for the cell (deterministic across repeats).
   std::uint64_t wheel_cascades = 0;
   std::uint64_t wheel_stale_drops = 0;
+  // PSC_PROFILE=1 arm: wheel calendar with the sampling microprofiler
+  // bracketing every hot-loop phase (default 1-in-64 sampling). 0 / false
+  // when the arm did not run.
+  double prof_ns = 0;
+  double prof_overhead = 0;  // prof_ns / sched_ns - 1, both min-of-repeats
+  bool profiled = false;
+  ProfReport prof_report;  // per-phase/per-kind attribution for the cell
+  // Attribution cross-check (65,536-machine cell only): the profiler's
+  // *direct* per-phase measurement of the flight-recorder and online-lint
+  // cost, expressed as a fraction of the bare-wheel ns/event, next to the
+  // *indirect* A/B-arm delta it replaces. Attaching either consumer also
+  // flips the executor's event sink on — the bare arm never runs
+  // record_event at all — so the direct estimate of what the A/B arm
+  // measures is the record phase (TimedEvent scalar fill) *plus* the
+  // consumer's own on_event/record phase. The two must agree (gated in
+  // main) or the self-time table cannot be trusted; the gate shapes differ
+  // per consumer (see the gate comment in main).
+  bool attribution = false;
+  // Null A/B delta of a second identical baseline arm (truth: 0%) — the
+  // run's own measurement of how well two min-of-repeats ratios of this
+  // cell can agree; the attribution gate's tolerance widens by it.
+  double ab_noise = 0;
+  double flight_ab = 0;      // flight-arm ns/event / baseline min - 1
+  double flight_direct = 0;  // prof (kRecord + kFlight) ns/event / baseline
+  double lint_ab = 0;        // lint-arm ns/event / baseline min - 1
+  double lint_direct = 0;    // prof (kRecord + kLint) ns/event / baseline
 };
 
 SweepRow run_sweep_cell(int n, int repeats, int target_events,
-                        bool flight_arm) {
+                        bool flight_arm, bool prof_arm) {
   // Equal events-per-machine budget across cells: run() pays a one-time
   // O(machines) startup (first poll of every machine, first touch of all
   // scheduler state), so cells must amortize it over the same number of
@@ -423,13 +479,19 @@ SweepRow run_sweep_cell(int n, int repeats, int target_events,
   // cell records ~3M events into a 64k ring — eviction is the steady state
   // being measured, not an edge case).
   FlightOptions fo;
-  Arm wheel, heap, legacy, flight;
+  ProfOptions po;  // 1-in-64 default — what PSC_PROFILE=1 deploys
+  po.sample_every = g_prof_sample;
+  Arm wheel, heap, legacy, flight, prof;
   for (int r = 0; r < repeats; ++r) {
     fold(wheel, measure_sample("flood", n, kWheelArm, cell_target));
     fold(heap, measure_sample("flood", n, kHeapArm, cell_target));
     if (flight_arm) {
       fold(flight, measure_sample("flood", n, kWheelArm, cell_target,
                                   nullptr, nullptr, &fo));
+    }
+    if (prof_arm) {
+      fold(prof, measure_sample("flood", n, kWheelArm, cell_target, nullptr,
+                                nullptr, nullptr, &po));
     }
   }
   shape(wheel.events == heap.events,
@@ -440,6 +502,14 @@ SweepRow run_sweep_cell(int n, int repeats, int target_events,
           "sweep n=" + std::to_string(n) +
               ": the flight arm executes the same event count");
   }
+  if (prof_arm) {
+    shape(wheel.events == prof.events,
+          "sweep n=" + std::to_string(n) +
+              ": the profiler arm executes the same event count");
+    shape(prof.prof_report.events == prof.events,
+          "sweep n=" + std::to_string(n) +
+              ": the profiler counts every executed event exactly");
+  }
   SweepRow row;
   row.nodes = n;
   row.machines = wheel.machines;
@@ -449,6 +519,78 @@ SweepRow run_sweep_cell(int n, int repeats, int target_events,
   if (flight_arm) {
     row.flight_ns = flight.ns_per_event;
     row.flight_overhead = flight.ns_per_event / wheel.ns_per_event - 1.0;
+  }
+  if (prof_arm) {
+    row.prof_ns = prof.ns_per_event;
+    row.prof_overhead = wheel.ns_per_event > 0
+                            ? prof.ns_per_event / wheel.ns_per_event - 1.0
+                            : 0.0;
+    row.prof_report = prof.prof_report;
+    row.profiled = prof.profiled;
+  }
+  // Attribution cross-check at the gate cell (65,536 machines): profile the
+  // flight and lint arms and compare the profiler's direct record-path
+  // cost against the A/B-arm deltas those phases replace. Estimator
+  // choices, each forced by a measured failure mode on a shared box:
+  //   - The baseline is re-measured *inside this loop*, interleaved with
+  //     the consumer arms, not taken from the first-loop wheel minimum —
+  //     cells run ~0.3s and the box drifts several percent between
+  //     sections (observed: the same lint arm at -3% vs +74% against the
+  //     stale baseline).
+  //   - Numerator and denominator are min-of-repeats, not within-repeat
+  //     paired ratios: a preemption slice inflates any single run by
+  //     10-20%, and the min is the run with the least interference (the
+  //     within-repeat median pairing that stabilizes the sub-5% probe
+  //     gates measured the *same binary's* flight delta at 5.5%, 21.6%,
+  //     and 12.0% across three invocations — pairing cancels drift, not
+  //     outliers).
+  //   - The direct estimates take the median across repeats of the
+  //     profiler's record-path ns/event (itself preemption-filtered by
+  //     iteration rejection, see prof.hpp) over the baseline minimum.
+  //   - The run measures its own A/B noise floor: a *second identical
+  //     baseline arm* interleaved with the others yields a null A/B delta
+  //     (same binary vs itself, truth 0%), and the agreement gate widens
+  //     by that floor. Even min-of-5 flight deltas measured 0.8%, 16.0%,
+  //     and 23.5% across invocations on this box while the direct share
+  //     sat at 13-15% — a fixed 5-point tolerance would gate on the
+  //     neighbors' workload, not on the profiler.
+  // Six extra arms, so only at the one cell where the gates live. The
+  // arm set repeats at least 5 times regardless of --repeats: the mins
+  // need a real chance to reach the interference floor.
+  if (prof_arm && wheel.machines == 65'536 && wheel.ns_per_event > 0) {
+    TraceCheckOptions lo;
+    lo.d1 = microseconds(50);  // the flood workload's channel bounds
+    lo.d2 = microseconds(200);
+    lo.num_nodes = n;
+    const int att_repeats = std::max(repeats, 5);
+    std::vector<double> base_r, null_r, fl_r, li_r, fdir_r, ldir_r;
+    for (int r = 0; r < att_repeats; ++r) {
+      const Arm base = measure_sample("flood", n, kWheelArm, cell_target);
+      const Arm base2 = measure_sample("flood", n, kWheelArm, cell_target);
+      const Arm fl = measure_sample("flood", n, kWheelArm, cell_target,
+                                    nullptr, nullptr, &fo);
+      const Arm flp = measure_sample("flood", n, kWheelArm, cell_target,
+                                     nullptr, nullptr, &fo, &po);
+      const Arm li = measure_sample("flood", n, kWheelArm, cell_target, &lo);
+      const Arm lip = measure_sample("flood", n, kWheelArm, cell_target, &lo,
+                                     nullptr, nullptr, &po);
+      base_r.push_back(base.ns_per_event);
+      null_r.push_back(base2.ns_per_event);
+      fl_r.push_back(fl.ns_per_event);
+      li_r.push_back(li.ns_per_event);
+      fdir_r.push_back(flp.prof_report.phase_ns_per_event(ProfPhase::kRecord) +
+                       flp.prof_report.phase_ns_per_event(ProfPhase::kFlight));
+      ldir_r.push_back(lip.prof_report.phase_ns_per_event(ProfPhase::kRecord) +
+                       lip.prof_report.phase_ns_per_event(ProfPhase::kLint));
+    }
+    const double base_min = *std::min_element(base_r.begin(), base_r.end());
+    row.attribution = true;
+    row.ab_noise = std::abs(
+        *std::min_element(null_r.begin(), null_r.end()) / base_min - 1);
+    row.flight_ab = *std::min_element(fl_r.begin(), fl_r.end()) / base_min - 1;
+    row.flight_direct = median(fdir_r) / base_min;
+    row.lint_ab = *std::min_element(li_r.begin(), li_r.end()) / base_min - 1;
+    row.lint_direct = median(ldir_r) / base_min;
   }
   row.wheel_cascades = wheel.stats.wheel.cascades;
   row.wheel_stale_drops = wheel.stats.wheel.stale_drops;
@@ -473,6 +615,9 @@ SweepRow run_sweep_cell(int n, int repeats, int target_events,
   if (flight_arm) {
     std::printf(" %13.1f %+7.1f%%", row.flight_ns,
                 row.flight_overhead * 100.0);
+  }
+  if (prof_arm) {
+    std::printf(" %11.1f %+7.1f%%", row.prof_ns, row.prof_overhead * 100.0);
   }
   std::printf("\n");
   return row;
@@ -511,9 +656,52 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
       os << ",\"flight_ns_per_event\":" << r.flight_ns
          << ",\"flight_overhead\":" << r.flight_overhead;
     }
+    if (r.prof_ns > 0) {
+      os << ",\"prof_ns_per_event\":" << r.prof_ns
+         << ",\"prof_overhead\":" << r.prof_overhead;
+    }
     os << ",\"wheel_cascades\":" << r.wheel_cascades
        << ",\"wheel_stale_drops\":" << r.wheel_stale_drops
        << ",\"seed\":" << kSeed << "}\n";
+  }
+  // One `prof` line per profiled sweep cell: the scaled per-phase self-time
+  // breakdown, and — at the 65,536-machine gate cell — the direct-vs-A/B
+  // attribution cross-check the acceptance bar pins.
+  for (const SweepRow& r : sweep) {
+    if (!r.profiled) continue;
+    const ProfReport& p = r.prof_report;
+    os << "{\"bench\":\"bench_executor\",\"workload\":\"prof\",\"nodes\":"
+       << r.nodes << ",\"machines\":" << r.machines << ",\"events\":"
+       << p.events << ",\"sample_every\":" << p.sample_every
+       << ",\"bracket_ticks\":" << p.bracket_ticks
+       << ",\"rejected_iterations\":" << p.rejected_iterations
+       << ",\"wall_ns_per_event\":"
+       << (p.events > 0 ? p.wall_ns / static_cast<double>(p.events) : 0.0)
+       << ",\"cpu_ns_per_event\":"
+       << (p.events > 0 ? p.cpu_ns / static_cast<double>(p.events) : 0.0)
+       << ",\"phase_sum_ns_per_event\":"
+       << (p.events > 0 ? p.phase_total_ns() / static_cast<double>(p.events)
+                        : 0.0)
+       << ",\"phases\":{";
+    for (std::size_t i = 0; i < p.phases.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << p.phases[i].name << "\":"
+         << (p.events > 0 ? p.phases[i].ns / static_cast<double>(p.events)
+                          : 0.0);
+    }
+    os << "}";
+    if (r.attribution) {
+      // *_direct include the record phase the consumer's arm switches on;
+      // lint_induced is the A/B remainder the brackets don't own — the
+      // lint probe's cache pressure on baseline phases plus whatever A/B
+      // noise survived min-of-repeats (informational; see the gate
+      // comment for why lint's A/B delta is not gated).
+      os << ",\"ab_noise\":" << r.ab_noise << ",\"flight_ab\":" << r.flight_ab
+         << ",\"flight_direct\":" << r.flight_direct << ",\"lint_ab\":"
+         << r.lint_ab << ",\"lint_direct\":" << r.lint_direct
+         << ",\"lint_induced\":" << (r.lint_ab - r.lint_direct);
+    }
+    os << ",\"seed\":" << kSeed << "}\n";
   }
   note("\nresults written to " + path);
 }
@@ -571,6 +759,27 @@ int main(int argc, char** argv) {
   // always-on binary ring plus latency histograms on the record path — and
   // gate its overhead at million-machine scale (see the sweep section).
   const bool flight_arm = env_flag("PSC_FLIGHT");
+  // PSC_PROFILE=1: add a microprofiler arm to the flood sweep — the wheel
+  // scheduler with sampling per-phase cycle attribution — print its
+  // self-time table at the largest profiled cell, and gate both its
+  // overhead and its internal consistency (phase sum vs wall, direct vs
+  // A/B attribution). Any value other than "1" doubles as the output path
+  // for flamegraph.pl-compatible folded stacks; PSC_PROFILE=1 with --json
+  // writes them next to the JSON as <json>.folded.
+  const bool prof_arm = env_flag("PSC_PROFILE");
+  std::string folded_path;
+  if (prof_arm) {
+    const char* v = std::getenv("PSC_PROFILE");
+    if (v != nullptr && std::strcmp(v, "1") != 0) folded_path = v;
+  }
+  // PSC_PROF_SAMPLE=N overrides the profiled sweep arm's sampling period,
+  // matching the documented contract for the harness-based benches
+  // (bench/common.hpp).
+  if (const char* v = std::getenv("PSC_PROF_SAMPLE");
+      v != nullptr && *v != '\0') {
+    const long n = std::atol(v);
+    if (n > 0) g_prof_sample = static_cast<std::uint32_t>(n);
+  }
 
   banner("executor scheduler: calendar/dirty-set loop vs legacy polling");
   note("min-of-" + std::to_string(repeats) +
@@ -679,11 +888,17 @@ int main(int argc, char** argv) {
                   "machines", "events", "wheel ns/ev", "heap ns/ev",
                   "legacy ns/ev", "cascades", "stale");
       if (flight_arm) std::printf(" %13s %8s", "flight ns/ev", "fly ovh");
+      if (prof_arm) std::printf(" %11s %8s", "prof ns/ev", "prof ovh");
       std::printf("\n");
-      const int sweep_repeats = smoke ? 1 : std::max(2, repeats / 2);
+      // Floor of 3: the flight/profiler overhead gates at the big cells
+      // compare min-of-repeats ratios, and with only 2 draws per arm a
+      // single preempted run leaves the min ~15 points above the real
+      // floor (observed: the same binary's 65k flight overhead at 6%..37%
+      // across min-of-2 invocations, against a 25% gate).
+      const int sweep_repeats = smoke ? 1 : std::max(3, repeats / 2);
       for (int n : sweep_nodes) {
-        sweep.push_back(
-            run_sweep_cell(n, sweep_repeats, target_events, flight_arm));
+        sweep.push_back(run_sweep_cell(n, sweep_repeats, target_events,
+                                       flight_arm, prof_arm));
       }
       // The memory-flatness gate: the wheel's per-event cost at 65,536
       // machines stays within 2x of its cost at 1,024 machines. Needs both
@@ -734,6 +949,113 @@ int main(int argc, char** argv) {
                       " machines: flight recorder overhead " +
                       std::to_string(r.flight_overhead * 100.0) + "% < " +
                       std::to_string(static_cast<int>(bound * 100)) + "%");
+          }
+        }
+        // The microprofiler's acceptance bars. (1) Cost: at default
+        // sampling the profiled wheel stays within 10% of the bare wheel
+        // at the gate scale (above 262,144 machines the same DRAM-bound
+        // slack as the flight gate applies — timing reads amortize but the
+        // baseline cell itself gets noisier, so 15%). (2) Conservation:
+        // the per-phase self-times must explain the run — their sum lands
+        // in 90-120% of the profiled run's own thread CPU time, or the
+        // table is attributing cycles to nobody / double-counting. Two
+        // corrections make that window honest (both measured, see
+        // prof.hpp): the calibrated per-bracket timer cost is subtracted
+        // (uncorrected it alone pushed sums 11% past the wall here), and
+        // preemption-torn sampled iterations are rejected while the
+        // denominator is CPU time, not wall (uncorrected, stolen CPU
+        // slices scaled by sample_every swung coverage 94%..131% between
+        // identical runs). The window is asymmetric because the residual
+        // errors only push up: calibration is a min-estimate (so the
+        // subtracted bracket cost is a lower bound of the true cost),
+        // and preemption slices below the rejection threshold still get
+        // multiplied by sample_every. Across ten runs on this box the
+        // corrected coverage landed 101%..113%, so 120% is the ceiling
+        // the methodology supports; the loop framing (begin_iteration,
+        // the stop_when test, the countdown) stays deliberately
+        // unbracketed, which keeps the floor at 90%. (3) Attribution: the direct
+        // record-path measurement
+        // (kRecord + the consumer's own phase — attaching a consumer also
+        // enables the event sink the bare arm never pays for) is compared
+        // against the indirect A/B-arm delta. For the flight recorder the
+        // two must agree within 5 points: its working set is the
+        // LLC-resident ring, so the A/B delta *is* the record path. The
+        // lint probe's in-flight message map spans 65k channels, so its
+        // arm's run time is dominated by cache layout luck — even paired
+        // within-repeat, the same binary's lint A/B delta was observed at
+        // -3%, +4%, and +74% across runs, a spread wider than the quantity
+        // being measured — so lint's A/B delta is *reported* (lint_ab,
+        // lint_induced in the JSON) but not gated; the gated check is that
+        // the direct record-path share is positive (the brackets really
+        // measured the probe).
+        if (prof_arm) {
+          for (const SweepRow& r : sweep) {
+            if (r.machines < 65'536) continue;
+            const double bound = r.machines > 262'144 ? 0.15 : 0.10;
+            shape(r.prof_overhead < bound,
+                  "sweep " + std::to_string(r.machines) +
+                      " machines: profiler overhead at default sampling " +
+                      std::to_string(r.prof_overhead * 100.0) + "% < " +
+                      std::to_string(static_cast<int>(bound * 100)) + "%");
+            if (!r.profiled || r.prof_report.cpu_ns <= 0) continue;
+            const double cover =
+                r.prof_report.phase_total_ns() / r.prof_report.cpu_ns;
+            shape(cover > 0.90 && cover < 1.20,
+                  "sweep " + std::to_string(r.machines) +
+                      " machines: profiled phases cover " +
+                      std::to_string(cover * 100.0) +
+                      "% of the run's thread CPU time (within 90-120%)");
+          }
+          for (const SweepRow& r : sweep) {
+            if (!r.attribution) continue;
+            const double tol = 0.05 + r.ab_noise;
+            shape(std::abs(r.flight_direct - r.flight_ab) <= tol,
+                  "attribution " + std::to_string(r.machines) +
+                      " machines: direct flight share " +
+                      std::to_string(r.flight_direct * 100.0) +
+                      "% within 5 points of A/B delta " +
+                      std::to_string(r.flight_ab * 100.0) +
+                      "% (+ measured A/B noise floor " +
+                      std::to_string(r.ab_noise * 100.0) + "%)");
+            shape(r.lint_direct > 0,
+                  "attribution " + std::to_string(r.machines) +
+                      " machines: direct lint share " +
+                      std::to_string(r.lint_direct * 100.0) +
+                      "% is measured (> 0); A/B delta " +
+                      std::to_string(r.lint_ab * 100.0) +
+                      "% reported, not gated (noise-dominated)");
+          }
+        }
+      }
+      // The self-time table for the largest profiled cell: direct per-phase
+      // measurement replacing the indirect A/B overhead arithmetic.
+      if (prof_arm) {
+        const SweepRow* top = nullptr;
+        for (const SweepRow& r : sweep) {
+          if (r.profiled) top = &r;
+        }
+        if (top != nullptr) {
+          banner("executor self-time (microprofiler, " +
+                 std::to_string(top->machines) + " machines)");
+          write_prof_table(std::cout, top->prof_report);
+          if (top->attribution) {
+            std::printf(
+                "  attribution cross-check (record path incl.): flight "
+                "direct %+.1f%% vs A/B %+.1f%%; lint direct %+.1f%% vs A/B "
+                "%+.1f%% (not gated); A/B noise floor %.1f%%\n",
+                top->flight_direct * 100.0, top->flight_ab * 100.0,
+                top->lint_direct * 100.0, top->lint_ab * 100.0,
+                top->ab_noise * 100.0);
+          }
+          if (folded_path.empty() && !json_path.empty()) {
+            folded_path = json_path + ".folded";
+          }
+          if (!folded_path.empty()) {
+            std::ofstream fs(folded_path);
+            PSC_CHECK(fs.good(), "cannot open " << folded_path);
+            write_folded(fs, top->prof_report);
+            note("folded stacks written to " + folded_path +
+                 " (flamegraph.pl-compatible)");
           }
         }
       }

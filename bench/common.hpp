@@ -18,7 +18,17 @@
 //                                   run for the same reason) and dump it at
 //                                   finish(); combined with PSC_CHROME_TRACE
 //                                   the trace gains message flow arrows.
+//   PSC_PROFILE=1|stacks.folded     to attach the sampling microprofiler
+//                                   (obs/prof.hpp) to every instrumented
+//                                   run, aggregate per-phase self-times
+//                                   across them, and print the table at
+//                                   finish(); any value other than "1" is
+//                                   also the output path for folded stacks.
+//   PSC_PROF_SAMPLE=N               profiler sampling period (default 64).
 // Benches opt in per run by passing obs_options() into the harness config.
+// (bench_executor's sweep arms construct executors directly and run their
+// own per-arm profiler — see bench_executor.cpp; the env wiring here covers
+// every harness-based bench.)
 #pragma once
 
 #include <cstdio>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "obs/instrument.hpp"
+#include "obs/prof.hpp"
 #include "util/table.hpp"
 
 namespace psc::bench {
@@ -76,6 +87,22 @@ inline CausalTraceProbe& causal_probe() {
   return probe;
 }
 
+// Shared microprofiler all instrumented runs aggregate into (bind() resets
+// only the per-executor memo tables, not the totals, so the finish() table
+// covers the whole bench).
+inline Profiler& profiler() {
+  static Profiler prof = [] {
+    ProfOptions po;
+    if (const char* v = std::getenv("PSC_PROF_SAMPLE");
+        v != nullptr && *v != '\0') {
+      const long n = std::atol(v);
+      if (n > 0) po.sample_every = static_cast<std::uint32_t>(n);
+    }
+    return Profiler(po);
+  }();
+  return prof;
+}
+
 }  // namespace detail
 
 // Observability options for one harness run, driven by the environment
@@ -90,13 +117,21 @@ inline const ObsOptions* obs_options() {
   const char* metrics_path = std::getenv("PSC_METRICS_OUT");
   const char* chrome_path = std::getenv("PSC_CHROME_TRACE");
   const char* causal_path = std::getenv("PSC_CAUSAL_TRACE");
+  const char* profile = std::getenv("PSC_PROFILE");
+  if (profile != nullptr && (*profile == '\0' || std::string(profile) == "0")) {
+    profile = nullptr;
+  }
   if (metrics_path == nullptr && chrome_path == nullptr &&
-      causal_path == nullptr) {
+      causal_path == nullptr && profile == nullptr) {
     return nullptr;
   }
   if (metrics_path != nullptr) {
     first_run.registry = &metrics();
     metrics_only.registry = &metrics();
+  }
+  if (profile != nullptr) {
+    first_run.profile = &detail::profiler();
+    metrics_only.profile = &detail::profiler();
   }
   if (!first_claimed) {
     first_claimed = true;
@@ -111,36 +146,65 @@ inline const ObsOptions* obs_options() {
     if (causal_path != nullptr) first_run.causal = &detail::causal_probe();
     return first_run.enabled() ? &first_run : nullptr;
   }
-  return metrics_only.registry != nullptr ? &metrics_only : nullptr;
+  return metrics_only.enabled() ? &metrics_only : nullptr;
 }
 
 inline int finish() {
+  // One unwritable output path must not discard the remaining artifacts or
+  // the shape-check summary: record the failure, keep exporting, and fold
+  // it into the exit status at the end.
+  int export_failures = 0;
+  if (const char* profile = std::getenv("PSC_PROFILE");
+      profile != nullptr && *profile != '\0' &&
+      std::string(profile) != "0" && detail::profiler().iterations() > 0) {
+    // Aggregated across every instrumented run of this bench binary.
+    std::cout << "\n=== executor self-time (microprofiler, all instrumented "
+                 "runs) ===\n";
+    const ProfReport report = detail::profiler().report();
+    write_prof_table(std::cout, report);
+    if (std::string(profile) != "1") {
+      std::ofstream os(profile);
+      if (!os) {
+        std::cerr << "cannot open " << profile << "\n";
+        ++export_failures;
+      } else {
+        write_folded(os, report);
+        std::cout << "folded stacks written to " << profile
+                  << " (flamegraph.pl-compatible)\n";
+      }
+    }
+    if (std::getenv("PSC_METRICS_OUT") != nullptr) {
+      detail::profiler().export_metrics(metrics());  // exec.prof.* gauges
+    }
+  }
   if (const char* path = std::getenv("PSC_METRICS_OUT")) {
     std::ofstream os(path);
     if (!os) {
       std::cerr << "cannot open " << path << "\n";
-      return 2;
+      ++export_failures;
+    } else {
+      metrics().write_jsonl(os);
+      std::cout << "\nmetrics (" << metrics().size() << " series) written to "
+                << path << "\n";
     }
-    metrics().write_jsonl(os);
-    std::cout << "\nmetrics (" << metrics().size() << " series) written to "
-              << path << "\n";
   }
   if (const char* path = std::getenv("PSC_CAUSAL_TRACE")) {
     std::ofstream os(path);
     if (!os) {
       std::cerr << "cannot open " << path << "\n";
-      return 2;
+      ++export_failures;
+    } else {
+      detail::causal_probe().dag().write_jsonl(os);
+      std::cout << "causal DAG (" << detail::causal_probe().dag().size()
+                << " spans) written to " << path << "\n";
     }
-    detail::causal_probe().dag().write_jsonl(os);
-    std::cout << "causal DAG (" << detail::causal_probe().dag().size()
-              << " spans) written to " << path << "\n";
   }
   if (g_failures > 0) {
     std::cout << "\n" << g_failures << " shape check(s) FAILED\n";
     return 1;
   }
   std::cout << "\nall shape checks passed\n";
-  return 0;
+  return export_failures > 0 ? 2 : 0;
 }
 
 }  // namespace psc::bench

@@ -29,6 +29,27 @@
 #                docs/OBSERVABILITY.md "Flight recorder"). psc-sim
 #                exposes the same recorder as --flight[=PATH].
 #
+# Microprofiler (see docs/OBSERVABILITY.md "Microprofiler"):
+#   PSC_PROFILE=1    bench_executor adds a profiler arm to the machine
+#                    sweep — the scheduler loop with the sampling
+#                    microprofiler attached (1-in-64 iterations by
+#                    default; PSC_PROF_SAMPLE=N overrides, though the
+#                    gates assume the default) — prints the executor
+#                    self-time table for the largest profiled cell,
+#                    writes a per-cell "prof" block into the JSON, dumps
+#                    folded stacks to BENCH_executor.json.folded
+#                    (flamegraph.pl-compatible), and gates: profiler
+#                    overhead < 10% ns/event at >= 65,536 machines
+#                    (< 15% above 262,144), corrected phase sums covering
+#                    90-120% of the profiled run's thread CPU time, and
+#                    direct flight attribution (record + flight phases)
+#                    within 5 points plus the run's measured A/B noise
+#                    floor of its A/B arm delta. Lint's A/B delta is
+#                    reported (lint_ab / lint_induced in the JSON) but
+#                    not gated: that arm's 65k-channel in-flight map
+#                    makes its wall time cache-layout-dominated.
+#   PSC_PROFILE=PATH same, but the folded stacks go to PATH.
+#
 # Sweep size (see docs/EXECUTOR.md "Memory layout & timing wheel"):
 #   PSC_BENCH_MAX_MACHINES=N   caps the flood 1k->1M machine sweep at N
 #                              registered machines (default 1048576; CI
@@ -66,7 +87,8 @@ if [[ ! -x "$BENCH_BIN" ]]; then
   exit 2
 fi
 
-# PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE / PSC_FLIGHT reach
-# the binary through the environment as-is (empty/unset = off).
+# PSC_METRICS_OUT / PSC_CHROME_TRACE / PSC_CAUSAL_TRACE / PSC_FLIGHT /
+# PSC_PROFILE / PSC_PROF_SAMPLE reach the binary through the environment
+# as-is (empty/unset = off).
 "$BENCH_BIN" --repeats "$REPEATS" \
   --json BENCH_executor.json

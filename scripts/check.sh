@@ -19,6 +19,16 @@
 #      decoded window through psc-lint — all under ASan+UBSan, so the
 #      record path, the snapshot codec, and the decoder are
 #      sanitizer-clean and the recorded window lints like a live trace.
+#   7. microprofiler overhead gate: the capped machine sweep with the
+#      sampling profiler attached, in a separate *plain* RelWithDebInfo
+#      build (build-bench-prof) — timing under sanitizers is meaningless.
+#      bench_executor itself enforces the gates: profile-on <= 1.10x
+#      profile-off ns/event at >= 65,536 machines at default 1-in-64
+#      sampling, corrected phase sums covering 90-120% of the profiled
+#      run's thread CPU time, and direct flight attribution (record +
+#      flight phases) within 5 points plus the run's own measured A/B
+#      noise floor of its A/B arm delta; lint's A/B delta is reported but
+#      not gated (see docs/OBSERVABILITY.md "Microprofiler").
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -42,7 +52,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # catches memory errors on the scheduler hot path that tests may not reach.
 # The smoke run includes the capped flood sweep, so the timing wheel's
 # cascade/compaction paths execute under ASan+UBSan at 1k+ machines.
-"$BUILD_DIR"/bench/bench_executor --smoke
+# PSC_PROFILE=1 attaches the sampling microprofiler so its record path,
+# report assembly, and exporters also run sanitizer-clean (the smoke run
+# skips the timing gates — no timing claims under ASan).
+PSC_PROFILE=1 "$BUILD_DIR"/bench/bench_executor --smoke
 
 # --- lane 2: ThreadSanitizer -------------------------------------------------
 
@@ -58,7 +71,7 @@ cmake -B "$TSAN_DIR" -S . -G Ninja \
 cmake --build "$TSAN_DIR" -j
 
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Executor|Scheduler|Wheel|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean|TimeSeries|BoundSlack|Experiment'
+  -R 'Executor|Scheduler|Wheel|Probes|Causal|Chrome|Metrics|Determinism|FuzzSeeds|Lint|TraceCheck|TraceJsonl|HarnessClean|TimeSeries|BoundSlack|Experiment|Profiler'
 
 # --- lane 3: clang-tidy ------------------------------------------------------
 
@@ -124,5 +137,25 @@ mkdir -p "$FLY_DIR"
   --out="$FLY_DIR/flood_flight.jsonl"
 "$BUILD_DIR"/tools/psc-lint --trace="$FLY_DIR/flood_flight.jsonl" \
   --d1_us=20 --d2_us=300 --nodes=4
+
+# --- lane 7: microprofiler overhead gate --------------------------------------
+
+# A plain (non-sanitized) optimized build: the profiler's <= 1.10x
+# self-overhead claim is about the real hot loop, and ASan's ~3x slowdown
+# would drown it. The sweep is capped at 65,536 machines — the smallest
+# cell where the gates apply — and bench_executor exits nonzero when the
+# profiled arm exceeds 1.10x the bare wheel, when the corrected per-phase
+# sums fail 90-120% conservation against the profiled run's thread CPU
+# time, or when the direct record-path flight attribution disagrees with
+# its A/B arm delta by more than 5 points plus the run's own measured A/B
+# noise floor (a second identical baseline arm's null delta). Lint's A/B
+# delta is reported but not gated — its 65k-channel in-flight map makes
+# that arm's wall time cache-layout-dominated.
+PROF_DIR=build-bench-prof
+cmake -B "$PROF_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$PROF_DIR" -j --target bench_executor
+PSC_PROFILE=1 PSC_BENCH_MAX_MACHINES=65536 \
+  "$PROF_DIR"/bench/bench_executor --repeats 2 \
+  --json "$LINT_TMP/BENCH_prof.json"
 
 echo "check.sh: all lanes passed"

@@ -147,6 +147,11 @@ class InvariantProbe final : public Probe {
   // Invariants are checked per event — opt out of the per-advance dispatch.
   bool observes_time() const override { return false; }
 
+  // The microprofiler books this probe's on_event time to its dedicated
+  // lint phase, so "what does online checking cost" is directly measured
+  // instead of inferred from the PSC_LINT A/B bench arm.
+  std::string_view profile_name() const override { return "lint"; }
+
   void on_event(const TimedEvent& e, const Machine& /*owner*/) override {
     checker_.observe(e);
   }

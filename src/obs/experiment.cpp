@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -114,6 +115,8 @@ SweepConfig parse_sweep_config(std::istream& is) {
     } else if (key == "seeds") {
       cfg.seeds.clear();
       for (const auto& v : split_list(val)) cfg.seeds.push_back(std::stoull(v));
+    } else if (key == "profile") {
+      cfg.profile = std::stoi(val) != 0;
     } else {
       PSC_CHECK(false, "sweep config line " << lineno << ": unknown key '"
                                             << key << "'");
@@ -154,7 +157,7 @@ namespace {
 
 CellResult run_cell(const SweepConfig& sweep, const std::string& algo,
                     Duration eps, Duration delta, Duration d1, Duration d2,
-                    Duration c, Duration ell) {
+                    Duration c, Duration ell, Profiler* prof) {
   CellResult cell;
   cell.algo = algo;
   cell.eps = eps;
@@ -175,6 +178,7 @@ CellResult run_cell(const SweepConfig& sweep, const std::string& algo,
   oo.registry = &reg;
   oo.slack = true;
   oo.flight = &flight;
+  oo.profile = prof;  // sweep-wide aggregation (null unless cfg.profile)
 
   RwRunConfig rc;
   rc.num_nodes = sweep.num_nodes;
@@ -254,6 +258,8 @@ CellResult run_cell(const SweepConfig& sweep, const std::string& algo,
 SweepResult run_sweep(const SweepConfig& cfg) {
   SweepResult result;
   result.config = cfg;
+  std::optional<Profiler> prof;
+  if (cfg.profile) prof.emplace();
   for (const std::string& algo : cfg.algos) {
     const std::vector<Duration> ells =
         algo == "mmt" ? cfg.ell : std::vector<Duration>{-1};
@@ -264,14 +270,19 @@ SweepResult run_sweep(const SweepConfig& cfg) {
             if (d1 > d2) continue;
             for (const Duration c : cfg.c) {
               for (const Duration ell : ells) {
-                result.cells.push_back(
-                    run_cell(cfg, algo, eps, delta, d1, d2, c, ell));
+                result.cells.push_back(run_cell(cfg, algo, eps, delta, d1,
+                                                d2, c, ell,
+                                                prof ? &*prof : nullptr));
               }
             }
           }
         }
       }
     }
+  }
+  if (prof.has_value()) {
+    result.prof = prof->report();
+    result.profiled = true;
   }
   return result;
 }
@@ -332,6 +343,12 @@ void write_markdown(const SweepResult& result, std::ostream& os) {
   }
   os << "; all cells linearizable: "
      << (result.all_linearizable() ? "yes" : "NO") << ".\n";
+  if (result.profiled && result.prof.iterations > 0) {
+    os << "\nExecutor self-time across the sweep (sampling microprofiler, "
+          "direct per-phase measurement):\n\n```\n";
+    write_prof_table(os, result.prof);
+    os << "```\n";
+  }
 }
 
 void write_json(const SweepResult& result, std::ostream& os) {

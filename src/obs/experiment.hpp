@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "obs/prof.hpp"
 
 namespace psc {
 
@@ -55,6 +56,10 @@ struct SweepConfig {
   std::vector<Duration> c = {0};
   std::vector<Duration> ell;
   std::vector<std::uint64_t> seeds = {1, 2, 3};
+  // Attach the sampling microprofiler (obs/prof.hpp) to every cell's runs
+  // and append the aggregated executor self-time table to the report.
+  // Config key `profile = 1`, or psc-report's --profile flag.
+  bool profile = false;
 };
 
 // Text format: one `key = value[, value...]` per line; '#' starts a
@@ -97,6 +102,10 @@ struct CellResult {
 struct SweepResult {
   SweepConfig config;
   std::vector<CellResult> cells;
+  // Aggregated executor self-time across every cell and seed (profiled is
+  // false — and the report empty — unless config.profile was set).
+  ProfReport prof;
+  bool profiled = false;
 
   // Minimum slack across all cells (kTimeMax when nothing was measured).
   Duration min_slack() const;

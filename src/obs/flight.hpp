@@ -48,10 +48,9 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "obs/metrics.hpp"  // percentile_cut — shared percentile walk
 
 namespace psc {
-
-class MetricsRegistry;
 
 // --- log-bucketed histogram ------------------------------------------------
 
@@ -105,18 +104,14 @@ class LogHistogram {
   // p in [0, 100]: the upper edge of the bucket holding the p-th percentile
   // sample, clamped to the observed max — so the estimate is exact to one
   // sub-bucket (<= 2^-kSubBits relative error) and never exceeds a value
-  // actually recorded. 0 when empty.
+  // actually recorded. 0 when empty. The bucket walk is the shared
+  // percentile_cut helper (obs/metrics.hpp); only the bucket -> value
+  // mapping (log-bucket upper edge, no interpolation) is HDR-specific.
   std::uint64_t percentile(double p) const {
     if (n_ == 0) return 0;
-    const double want = p / 100.0 * static_cast<double>(n_);
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += buckets_[i];
-      if (static_cast<double>(seen) >= want && seen > 0) {
-        return std::min(bucket_max(i), max_);
-      }
-    }
-    return max_;
+    const PercentileCut cut = percentile_cut(buckets_.data(), kBuckets, n_, p);
+    if (!cut.valid) return max_;
+    return std::min(bucket_max(cut.bucket), max_);
   }
   std::uint64_t p50() const { return percentile(50); }
   std::uint64_t p99() const { return percentile(99); }

@@ -1,6 +1,7 @@
 #include "obs/instrument.hpp"
 
 #include "analysis/trace_check.hpp"
+#include "obs/prof.hpp"
 #include "runtime/executor.hpp"
 
 namespace psc {
@@ -91,6 +92,17 @@ Probe* RunObserver::add(std::unique_ptr<Probe> probe) {
 
 void RunObserver::attach(Executor& exec) {
   if (opts_.flight != nullptr) exec.attach_flight(opts_.flight);
+  if (opts_.profile != nullptr) {
+    exec.attach_profiler(opts_.profile);
+    // With a chrome document in play, stream the profiler's per-phase
+    // totals as counter tracks. The probe only writes on time advances, so
+    // its position relative to the first-attached chrome probe (which
+    // closes the document at on_run_end) does not matter.
+    if (ChromeTraceWriter* w = chrome()) {
+      probes_.push_back(
+          std::make_unique<ProfCounterProbe>(*opts_.profile, *w));
+    }
+  }
   if (chrome_probe_) exec.attach_probe(chrome_probe_.get());
   if (opts_.causal != nullptr) {
     opts_.causal->set_trace(chrome());

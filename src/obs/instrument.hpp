@@ -31,6 +31,7 @@ namespace psc {
 class Executor;
 class FlightRecorder;
 class InvariantProbe;
+class Profiler;
 
 struct ObsOptions {
   // Sink for the built-in metric probes; nullptr disables them.
@@ -69,10 +70,18 @@ struct ObsOptions {
   // directly from the record path. The caller keeps it to snapshot/dump or
   // export histogram percentiles after the run.
   FlightRecorder* flight = nullptr;
+  // Caller-owned sampling microprofiler (obs/prof.hpp). attach() hands it
+  // to Executor::attach_profiler — like the flight recorder, not a Probe:
+  // the scheduler loop brackets its own phases. With a chrome writer also
+  // configured, attach() additionally streams per-phase counter tracks
+  // into the trace. The caller keeps it to report()/export_metrics() after
+  // the run.
+  Profiler* profile = nullptr;
 
   bool enabled() const {
     return registry != nullptr || chrome_out != nullptr || causal != nullptr ||
-           lint != nullptr || timeseries != nullptr || flight != nullptr;
+           lint != nullptr || timeseries != nullptr || flight != nullptr ||
+           profile != nullptr;
   }
 };
 

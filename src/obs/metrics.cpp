@@ -80,25 +80,19 @@ double Histogram::percentile(double p) const {
   // NaN on empty data, matching Samples::percentile: a zero-sample series
   // still renders (write_jsonl maps non-finite values to 0).
   if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
-  p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(n_);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    if (buckets_[b] == 0) continue;
-    const double before = static_cast<double>(seen);
-    seen += buckets_[b];
-    if (static_cast<double>(seen) < target) continue;
-    // Interpolate inside bucket b: [lower, upper].
-    const double lower = b == 0 ? min_ : bounds_[b - 1];
-    const double upper = b < bounds_.size() ? bounds_[b] : max_;
-    const double frac =
-        buckets_[b] == 0
-            ? 0.0
-            : (target - before) / static_cast<double>(buckets_[b]);
-    const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
-    return std::clamp(v, min_, max_);
-  }
-  return max_;
+  const PercentileCut cut =
+      percentile_cut(buckets_.data(), buckets_.size(), n_, p);
+  if (!cut.valid) return max_;
+  // Interpolate inside the selected bucket: [lower, upper].
+  const std::size_t b = cut.bucket;
+  const double lower = b == 0 ? min_ : bounds_[b - 1];
+  const double upper = b < bounds_.size() ? bounds_[b] : max_;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n_);
+  const double frac = (target - static_cast<double>(cut.below)) /
+                      static_cast<double>(buckets_[b]);
+  const double v = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+  return std::clamp(v, min_, max_);
 }
 
 MetricId MetricsRegistry::intern(std::string_view name) {
@@ -244,9 +238,9 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
         os << ",\"max\":";
         put_number(os, h.max());
         os << ",\"p50\":";
-        put_number(os, h.percentile(50));
+        put_number(os, h.p50());
         os << ",\"p99\":";
-        put_number(os, h.percentile(99));
+        put_number(os, h.p99());
         os << ",\"bounds\":[";
         for (std::size_t k = 0; k < h.bounds().size(); ++k) {
           if (k) os << ",";

@@ -41,8 +41,8 @@ void TimeSeries::sample(Time now) {
       record(name, now, g->last());
     } else if (const Histogram* h = reg_.find_histogram(name)) {
       record(name + ".count", now, static_cast<double>(h->count()));
-      record(name + ".p50", now, h->percentile(50));
-      record(name + ".p99", now, h->percentile(99));
+      record(name + ".p50", now, h->p50());
+      record(name + ".p99", now, h->p99());
     }
   }
 }

@@ -15,6 +15,8 @@
 // single empty-vector branch per event — observability is strictly opt-in.
 #pragma once
 
+#include <string_view>
+
 #include "core/time.hpp"
 #include "core/trace.hpp"
 
@@ -29,6 +31,13 @@ class Probe {
 
   Probe(const Probe&) = delete;
   Probe& operator=(const Probe&) = delete;
+
+  // Attribution label for the executor microprofiler (obs/prof.hpp), read
+  // once per Executor::run(): probes answering "lint" get their on_event
+  // time booked to the profiler's lint phase, everything else to the
+  // generic probe phase. Purely a reporting refinement — the dispatch
+  // itself is identical either way.
+  virtual std::string_view profile_name() const { return "probe"; }
 
   // Dispatch hints, read once per Executor::run(): a probe that never
   // overrides on_event (resp. on_time_advance) returns false so the

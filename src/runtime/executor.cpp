@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/flight.hpp"
+#include "obs/prof.hpp"
 #include "util/check.hpp"
 
 namespace psc {
@@ -28,6 +29,7 @@ Executor::Executor(ExecutorOptions options)
       use_wheel_(!options_.legacy_scan && !options_.heap_calendar),
       exec_uid_(next_exec_uid()),
       flight_(options_.flight),
+      prof_(options_.profile),
       rng_(options_.seed),
       probes_(std::move(options_.probes)) {}
 
@@ -93,6 +95,11 @@ void Executor::attach_probe(Probe* probe) {
 void Executor::attach_flight(FlightRecorder* flight) {
   flight_ = flight;
   if (flight_ != nullptr) flight_->bind(exec_uid_);
+}
+
+void Executor::attach_profiler(Profiler* prof) {
+  prof_ = prof;
+  if (prof_ != nullptr) prof_->bind(exec_uid_);
 }
 
 // --- interned action kinds and the subscription index ---------------------
@@ -284,6 +291,8 @@ std::pair<std::size_t, std::size_t> Executor::locate_candidate(
 void Executor::record_event(TimedEvent& e, std::size_t machine,
                             ActionRole role, bool visible) {
   Machine* owner = machines_[machine];
+  Profiler* const pr = prof_iter_;
+  std::uint64_t t0 = pr != nullptr ? Profiler::ticks() : 0;
   e.time = now_;
   // clocked() is a non-virtual flag: unclocked machines (the common case
   // in timed-model runs) skip the virtual clock_reading dispatch and the
@@ -291,12 +300,38 @@ void Executor::record_event(TimedEvent& e, std::size_t machine,
   e.clock = owner->clocked() ? owner->clock_reading(now_) : kNoClockTag;
   e.owner = static_cast<int>(machine);
   e.visible = visible && role == ActionRole::kOutput;
+  if (pr != nullptr) {
+    const std::uint64_t t1 = Profiler::ticks();
+    pr->add(ProfPhase::kRecord, t1 - t0);
+    t0 = t1;
+  }
   // The flight ring is fed before the probes: when an InvariantProbe raises
   // a PSC1xx violation from its on_event and a dump hook fires, the
   // snapshot already contains the offending event.
-  if (flight_ != nullptr) flight_->record(e);
-  for (Probe* p : event_probes_) p->on_event(e, *owner);
-  if (options_.record_events) events_.push_back(std::move(e));
+  if (flight_ != nullptr) {
+    flight_->record(e);
+    if (pr != nullptr) {
+      const std::uint64_t t1 = Profiler::ticks();
+      pr->add(ProfPhase::kFlight, t1 - t0);
+      t0 = t1;
+    }
+  }
+  if (pr == nullptr) {
+    for (Probe* p : event_probes_) p->on_event(e, *owner);
+  } else {
+    // Sampled iteration: bracket each probe individually so lint probes
+    // (profile_name() == "lint") book to their own phase.
+    for (std::size_t i = 0; i < event_probes_.size(); ++i) {
+      event_probes_[i]->on_event(e, *owner);
+      const std::uint64_t t1 = Profiler::ticks();
+      pr->add(static_cast<ProfPhase>(event_probe_phase_[i]), t1 - t0);
+      t0 = t1;
+    }
+  }
+  if (options_.record_events) {
+    events_.push_back(std::move(e));
+    if (pr != nullptr) pr->add(ProfPhase::kRecord, Profiler::ticks() - t0);
+  }
 }
 
 void Executor::execute_fast(std::size_t machine, std::size_t offset) {
@@ -309,6 +344,8 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
   // only fills in scalar fields, so attaching a probe adds no per-event
   // Action traffic either.
   TimedEvent& ev = scratch_event_;
+  Profiler* const pr = prof_iter_;
+  std::uint64_t t0 = pr != nullptr ? Profiler::ticks() : 0;
   std::swap(ev.action, cands_[machine][offset]);
   const Action& a = ev.action;
   Machine* owner = machines_[machine];
@@ -367,6 +404,11 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
               "machine " << owner->name() << " enabled non-local action "
                          << to_string(a));
   }
+  if (pr != nullptr) {
+    const std::uint64_t t1 = Profiler::ticks();
+    pr->add(ProfPhase::kRoute, t1 - t0);
+    t0 = t1;
+  }
 
   owner->apply_local(a, now_);
   mark_dirty(machine);
@@ -403,12 +445,22 @@ void Executor::execute_fast(std::size_t machine, std::size_t offset) {
       }
     }
   }
+  if (pr != nullptr) {
+    const std::uint64_t dt = Profiler::ticks() - t0;
+    pr->add(ProfPhase::kStep, dt);
+    // The step span is the one worth splitting: route/record are uniform,
+    // but apply_local + fanout cost is a property of the machine and the
+    // action kind it emitted.
+    pr->add_kind(kid, kind_keys_[static_cast<std::size_t>(kid)].name, dt);
+    pr->add_machine(machine, typeid(*owner), dt);
+  }
 
   if (sink_events_) {
     record_event(ev, machine, role, !k.hidden);
   }
   ++steps_;
   ++stats_.events;
+  if (prof_ != nullptr) prof_->count_event();
 }
 
 bool Executor::advance_time_sched() {
@@ -500,18 +552,36 @@ void Executor::run_loop_sched() {
   reset_sched();
   while (steps_ < options_.max_events) {
     if (stop_when_ && stop_when_()) break;
+    // Microprofiler sampling decision, once per loop iteration: on a
+    // sampled iteration prof_iter_ points at the profiler and every phase
+    // below is bracketed with cycle reads; otherwise the whole iteration
+    // pays this one test (plus one counter decrement inside
+    // begin_iteration when a profiler is attached at all).
+    if (prof_ != nullptr) {
+      prof_iter_ = prof_->begin_iteration() ? prof_ : nullptr;
+    }
+    Profiler* const pr = prof_iter_;
+    std::uint64_t t0 = pr != nullptr ? Profiler::ticks() : 0;
     flush_dirty();
+    if (pr != nullptr) {
+      const std::uint64_t t1 = Profiler::ticks();
+      pr->add(ProfPhase::kPoll, t1 - t0);
+      t0 = t1;
+    }
     if (total_cands_ > 0) {
       const std::size_t pick =
           total_cands_ == 1 ? 0 : rng_.index(total_cands_);
       const auto [m, offset] = locate_candidate(pick);
+      if (pr != nullptr) pr->add(ProfPhase::kPick, Profiler::ticks() - t0);
       execute_fast(m, offset);
       continue;
     }
     const bool advanced =
         use_wheel_ ? advance_time_wheel() : advance_time_sched();
+    if (pr != nullptr) pr->add(ProfPhase::kAdvance, Profiler::ticks() - t0);
     if (!advanced) break;
   }
+  prof_iter_ = nullptr;
 }
 
 // --- legacy polling loop (ExecutorOptions::legacy_scan) -------------------
@@ -528,10 +598,17 @@ std::vector<Executor::Candidate> Executor::gather_enabled() const {
 
 void Executor::execute(const Candidate& c) {
   Machine* owner = machines_[c.machine];
+  Profiler* const pr = prof_iter_;
+  std::uint64_t t0 = pr != nullptr ? Profiler::ticks() : 0;
   const ActionRole role = owner->classify(c.action);
   PSC_CHECK(role == ActionRole::kOutput || role == ActionRole::kInternal,
             "machine " << owner->name() << " enabled non-local action "
                        << to_string(c.action));
+  if (pr != nullptr) {
+    const std::uint64_t t1 = Profiler::ticks();
+    pr->add(ProfPhase::kRoute, t1 - t0);
+    t0 = t1;
+  }
   owner->apply_local(c.action, now_);
   if (role == ActionRole::kOutput) {
     for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -546,6 +623,13 @@ void Executor::execute(const Candidate& c) {
       if (r == ActionRole::kInput) other->apply_input(c.action, now_);
     }
   }
+  if (pr != nullptr) {
+    const std::uint64_t dt = Profiler::ticks() - t0;
+    pr->add(ProfPhase::kStep, dt);
+    // The legacy loop never interns kinds; attribute by action name.
+    pr->add_kind_by_name(c.action.name, dt);
+    pr->add_machine(c.machine, typeid(*owner), dt);
+  }
   if (sink_events_) {
     TimedEvent ev;
     ev.action = c.action;  // the legacy loop keeps its candidate list intact
@@ -554,6 +638,7 @@ void Executor::execute(const Candidate& c) {
   }
   ++steps_;
   ++stats_.events;
+  if (prof_ != nullptr) prof_->count_event();
 }
 
 bool Executor::advance_time() {
@@ -594,16 +679,30 @@ bool Executor::advance_time() {
 void Executor::run_loop_legacy() {
   while (steps_ < options_.max_events) {
     if (stop_when_ && stop_when_()) break;
+    if (prof_ != nullptr) {
+      prof_iter_ = prof_->begin_iteration() ? prof_ : nullptr;
+    }
+    Profiler* const pr = prof_iter_;
+    std::uint64_t t0 = pr != nullptr ? Profiler::ticks() : 0;
     auto candidates = gather_enabled();
+    if (pr != nullptr) {
+      const std::uint64_t t1 = Profiler::ticks();
+      pr->add(ProfPhase::kPoll, t1 - t0);
+      t0 = t1;
+    }
     if (!candidates.empty()) {
       const std::size_t pick = candidates.size() == 1
                                    ? 0
                                    : rng_.index(candidates.size());
+      if (pr != nullptr) pr->add(ProfPhase::kPick, Profiler::ticks() - t0);
       execute(candidates[pick]);
       continue;
     }
-    if (!advance_time()) break;
+    const bool advanced = advance_time();
+    if (pr != nullptr) pr->add(ProfPhase::kAdvance, Profiler::ticks() - t0);
+    if (!advanced) break;
   }
+  prof_iter_ = nullptr;
 }
 
 DiagnosticReport Executor::validate_composition(const LintOptions& opts) const {
@@ -640,9 +739,16 @@ ExecutorReport Executor::run() {
   // passage — paying an empty virtual call per event for each would cost
   // a measurable slice of the probe overhead budget).
   event_probes_.clear();
+  event_probe_phase_.clear();
   time_probes_.clear();
   for (Probe* p : probes_) {
-    if (p->observes_events()) event_probes_.push_back(p);
+    if (p->observes_events()) {
+      event_probes_.push_back(p);
+      // Profiler attribution: lint probes book to their own phase so the
+      // online checker's cost is measured directly, not A/B-inferred.
+      event_probe_phase_.push_back(static_cast<std::uint8_t>(
+          p->profile_name() == "lint" ? ProfPhase::kLint : ProfPhase::kProbe));
+    }
     if (p->observes_time()) time_probes_.push_back(p);
   }
   sink_events_ =
@@ -651,11 +757,18 @@ ExecutorReport Executor::run() {
   // First advance always notifies (and learns each probe's real wake).
   time_probe_wake_ = time_probes_.empty() ? kTimeMax : 0;
   for (Probe* p : probes_) p->on_run_begin(now_);
+  // The profiler's wall bracket covers exactly the loop: the phase spans it
+  // must sum to (within the conservation gate) all live inside.
+  if (prof_ != nullptr) {
+    prof_->bind(exec_uid_);
+    prof_->run_begin();
+  }
   if (options_.legacy_scan) {
     run_loop_legacy();
   } else {
     run_loop_sched();
   }
+  if (prof_ != nullptr) prof_->run_end();
   const bool capped = steps_ >= options_.max_events;
   // With a stop condition registered the cap is a reportable outcome (the
   // predicate may have been about to fire); without one it is a runaway.

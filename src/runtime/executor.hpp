@@ -48,6 +48,7 @@
 namespace psc {
 
 class FlightRecorder;
+class Profiler;
 
 struct ExecutorOptions {
   Time horizon = seconds(1);       // stop once now would exceed this
@@ -77,6 +78,12 @@ struct ExecutorOptions {
   // buffers, independently of record_events and the probe list. Non-owning;
   // attach_flight() is the post-construction equivalent.
   FlightRecorder* flight = nullptr;
+  // Sampling microprofiler (obs/prof.hpp): the scheduler loop brackets its
+  // hot-loop phases with cycle-counter reads on 1-in-N sampled iterations
+  // and attributes step time per action kind / machine type. Non-owning;
+  // attach_profiler() is the post-construction equivalent. With no profiler
+  // attached the per-iteration cost is one null-pointer test.
+  Profiler* profile = nullptr;
 };
 
 // Self-metrics of the calendar/dirty-set scheduler, maintained as plain
@@ -179,6 +186,13 @@ class Executor {
   // run. run() bind()s the recorder to this executor instance so its
   // per-executor kind memo resets when a recorder is reused across runs.
   void attach_flight(FlightRecorder* flight);
+
+  // Attaches (or, with nullptr, detaches) the sampling microprofiler —
+  // same slot as ExecutorOptions::profile. Non-owning; must outlive the
+  // run. run() bind()s the profiler to this executor instance so its
+  // per-executor kind/machine memos reset when one profiler aggregates
+  // several executors.
+  void attach_profiler(Profiler* prof);
 
   // Lints the composition as assembled so far (all machines added, hides
   // applied) without running it; see src/analysis/lint.hpp for the codes.
@@ -290,6 +304,15 @@ class Executor {
   // a freed executor's address can be reused).
   std::uint64_t exec_uid_ = 0;
   FlightRecorder* flight_ = nullptr;
+  // Microprofiler (obs/prof.hpp). prof_iter_ is the per-iteration sampling
+  // decision: prof_ when the current loop iteration is sampled (its phases
+  // are then bracketed with cycle reads), nullptr otherwise — so the
+  // per-phase cost of an unsampled iteration is one pointer test.
+  Profiler* prof_ = nullptr;
+  Profiler* prof_iter_ = nullptr;
+  // Parallel to event_probes_: the profiler phase (ProfPhase as uint8_t)
+  // each probe's on_event time is booked to, from Probe::profile_name().
+  std::vector<std::uint8_t> event_probe_phase_;
   // record_event has a consumer this run (trace recording, event probes,
   // or the flight recorder); computed once at run() start so the per-event
   // branch is one boolean load.

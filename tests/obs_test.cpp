@@ -5,12 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <array>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/instrument.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/script.hpp"
@@ -399,6 +405,81 @@ TEST(ChromeTrace, EmptyDocumentIsValid) {
   std::ostringstream os;
   { ChromeTraceWriter w(os); }
   expect_valid_json(os.str());
+}
+
+// Every flow record in a document, in emission order: phase ('s' start at
+// the send, 't' step at the delivery, 'f' end at the receive) and the
+// message uid it binds to.
+std::vector<std::pair<char, std::uint64_t>> flow_records(
+    const std::string& doc) {
+  std::vector<std::pair<char, std::uint64_t>> out;
+  for (const char ph : {'s', 't', 'f'}) {
+    const std::string needle =
+        std::string("\"ph\":\"") + ph + "\",\"cat\":\"msg\",\"id\":";
+    for (auto pos = doc.find(needle); pos != std::string::npos;
+         pos = doc.find(needle, pos + 1)) {
+      out.emplace_back(ph, std::stoull(doc.substr(pos + needle.size())));
+    }
+  }
+  return out;
+}
+
+TEST(ChromeTrace, FlowEventsBalancePerUid) {
+  std::ostringstream chrome;
+  CausalTraceProbe causal;
+  ObsOptions obs;
+  obs.chrome_out = &chrome;
+  obs.causal = &causal;
+  RwRunConfig cfg = small_config();
+  cfg.obs = &obs;
+  ZigzagDrift drift(0.3);
+  (void)run_rw_clock(cfg, drift);
+  const std::string doc = chrome.str();
+  expect_valid_json(doc);
+
+  std::map<std::uint64_t, std::array<int, 3>> per_uid;  // s/t/f counts
+  for (const auto& [ph, uid] : flow_records(doc)) {
+    ++per_uid[uid][ph == 's' ? 0 : ph == 't' ? 1 : 2];
+  }
+  ASSERT_FALSE(per_uid.empty());
+  bool saw_complete_chain = false;
+  for (const auto& [uid, counts] : per_uid) {
+    // Exactly one start per flow, at most one end (RECVMSG terminates the
+    // chain); intermediate hops (SENDMSG/DELIVER/ERECVMSG in the clock
+    // model) are steps and may repeat, but never float without a start.
+    EXPECT_EQ(counts[0], 1) << "uid " << uid << ": flow starts";
+    EXPECT_LE(counts[2], 1) << "uid " << uid << ": flow ends";
+    if (counts[1] > 0 || counts[2] > 0) {
+      EXPECT_EQ(counts[0], 1) << "uid " << uid << ": step/end without start";
+    }
+    if (counts[0] == 1 && counts[1] >= 1 && counts[2] == 1) {
+      saw_complete_chain = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete_chain);  // at least one full send->...->recv
+}
+
+TEST(ChromeTrace, ProfilerCounterTracksAppearExactlyWhenProfiling) {
+  const auto doc_with = [](Profiler* prof) {
+    std::ostringstream chrome;
+    ObsOptions obs;
+    obs.chrome_out = &chrome;
+    obs.profile = prof;
+    RwRunConfig cfg = small_config();
+    cfg.obs = &obs;
+    ZigzagDrift drift(0.3);
+    (void)run_rw_clock(cfg, drift);
+    return chrome.str();
+  };
+  const std::string bare = doc_with(nullptr);
+  expect_valid_json(bare);
+  EXPECT_EQ(bare.find("exec.prof ticks"), std::string::npos);
+
+  Profiler prof(ProfOptions{.sample_every = 1});
+  const std::string profiled = doc_with(&prof);
+  expect_valid_json(profiled);
+  EXPECT_NE(profiled.find("\"name\":\"exec.prof ticks\""), std::string::npos);
+  EXPECT_GT(prof.events(), 0u);
 }
 
 }  // namespace

@@ -1,14 +1,16 @@
 // psc-report — parameter-sweep experiment runner and cost-table renderer.
 //
 //   psc-report --sweep=CONFIG [--markdown=PATH] [--json=PATH]
-//              [--update=PATH] [--quiet]
+//              [--update=PATH] [--profile] [--quiet]
 //
 // Runs the sweep described by CONFIG (see obs/experiment.hpp for the
 // format), prints the Section 6.3 cost table as Markdown (or writes it to
 // --markdown), writes per-cell JSONL rows to --json (BENCH_rw.json), and
 // with --update splices the table between the `<!-- psc-report:begin -->`
 // and `<!-- psc-report:end -->` markers of an existing Markdown document
-// (how EXPERIMENTS.md's committed table is regenerated).
+// (how EXPERIMENTS.md's committed table is regenerated). --profile (or
+// `profile = 1` in CONFIG) attaches the sampling microprofiler to every
+// cell and appends the aggregated executor self-time table to the report.
 //
 // Exit status: 0 on success; 1 when any cell observed negative bound slack
 // (a run got *outside* a theoretical bound) or failed linearizability —
@@ -28,7 +30,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --sweep=CONFIG [--markdown=PATH] [--json=PATH] "
-               "[--update=PATH] [--quiet]\n";
+               "[--update=PATH] [--profile] [--quiet]\n";
   return 2;
 }
 
@@ -37,6 +39,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string sweep_path, markdown_path, json_path, update_path;
   bool quiet = false;
+  bool profile = false;
   for (int k = 1; k < argc; ++k) {
     const std::string s = argv[k];
     const auto val = [&s](const char* key) -> std::string {
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
       update_path = val("update");
     } else if (s == "--quiet") {
       quiet = true;
+    } else if (s == "--profile") {
+      profile = true;
     } else {
       return usage(argv[0]);
     }
@@ -60,7 +65,8 @@ int main(int argc, char** argv) {
   if (sweep_path.empty()) return usage(argv[0]);
 
   try {
-    const SweepConfig cfg = load_sweep_config(sweep_path);
+    SweepConfig cfg = load_sweep_config(sweep_path);
+    if (profile) cfg.profile = true;
     const SweepResult result = run_sweep(cfg);
 
     std::ostringstream table;

@@ -44,6 +44,15 @@
 //                        error, when --lint is also set (dump-on-violation).
 //                        Decode snapshots with psc-flight.
 //   --flight-ring=N      per-shard ring capacity in records [8192]
+//
+// Microprofiler (docs/OBSERVABILITY.md):
+//   --profile[=PATH]     sample the executor hot loop (per-phase cycle
+//                        attribution) and print the self-time table at run
+//                        end; a PATH value also writes folded stacks there
+//                        (flamegraph.pl-compatible). With --chrome-trace the
+//                        per-phase totals stream as counter tracks; with
+//                        --metrics-out the exec.prof.* gauges join the dump.
+//   --prof-sample=N      profile every N-th scheduler iteration [64]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -58,6 +67,7 @@
 #include "mmt/mmt_system.hpp"
 #include "obs/flight.hpp"
 #include "obs/instrument.hpp"
+#include "obs/prof.hpp"
 #include "runtime/system.hpp"
 #include "rw/harness.hpp"
 #include "rw/queue.hpp"
@@ -171,6 +181,17 @@ class ObsSetup {
       flight_.emplace(fo);
       opts_.flight = &*flight_;
     }
+    if (args.count("profile") > 0) {
+      profile_path_ = gets(args, "profile", "1");
+      // Bare --profile parses as "1": table only, no folded-stack file.
+      if (profile_path_ == "1") profile_path_.clear();
+      ProfOptions po;
+      const auto n = geti(args, "prof-sample",
+                          static_cast<std::int64_t>(po.sample_every));
+      if (n > 0) po.sample_every = static_cast<std::uint32_t>(n);
+      prof_.emplace(po);
+      opts_.profile = &*prof_;
+    }
   }
 
   const ObsOptions* options() const {
@@ -210,6 +231,22 @@ class ObsSetup {
     if (flight_.has_value()) {
       if (opts_.registry != nullptr) flight_->export_metrics(registry_);
       if (!flight_dumped_) dump_flight("run end");
+    }
+    if (prof_.has_value()) {
+      const ProfReport prof_report = prof_->report();
+      if (opts_.registry != nullptr) prof_->export_metrics(registry_);
+      std::cout << "executor self-time (microprofiler):\n";
+      write_prof_table(std::cout, prof_report);
+      if (!profile_path_.empty()) {
+        std::ofstream os(profile_path_);
+        if (!os) {
+          std::cerr << "cannot open " << profile_path_ << "\n";
+          std::exit(2);
+        }
+        write_folded(os, prof_report);
+        std::cout << "folded stacks written to " << profile_path_
+                  << " (flamegraph.pl-compatible)\n";
+      }
     }
     if (opts_.registry != nullptr) {
       registry_.gauge("run.end_time_ns").set(static_cast<double>(end_time));
@@ -323,9 +360,10 @@ class ObsSetup {
   CausalTraceProbe causal_;
   std::optional<InvariantProbe> lint_;
   std::optional<FlightRecorder> flight_;
+  std::optional<Profiler> prof_;
   std::ofstream chrome_;
   std::string metrics_path_, chrome_path_, causal_path_, critical_sink_;
-  std::string flight_path_;
+  std::string flight_path_, profile_path_;
   bool exec_stats_ = false;
   bool flight_dumped_ = false;
   bool capped_ = false;
@@ -482,16 +520,71 @@ int run_flood(const std::map<std::string, std::string>& args) {
   return safe ? 0 : 1;
 }
 
+// Every flag psc-sim understands, one line each — kept in sync with the
+// header comment and docs/OBSERVABILITY.md (a test greps this output for
+// the observability flags, so new obs features must be listed here).
+void print_usage(std::ostream& os) {
+  os << "usage: psc-sim <scenario> [--key=value ...]\n"
+        "\n"
+        "scenarios:\n"
+        "  rw-timed             algorithm L/S in the timed model\n"
+        "  rw-clock             transformed S in the clock model (Thm 6.5)\n"
+        "  rw-sliced            the [10] baseline reconstruction\n"
+        "  rw-mmt               the full Theorem 5.2 pipeline\n"
+        "  queue                replicated FIFO queue (total-order bcast)\n"
+        "  flood                flooding broadcast on a ring\n"
+        "\n"
+        "scenario keys (defaults in brackets):\n"
+        "  --nodes=N            number of nodes [3]\n"
+        "  --ops=N              operations per node [20 register, 15 queue]\n"
+        "  --d1_us=N --d2_us=N  channel delay bounds in microseconds "
+        "[20/300]\n"
+        "  --eps_us=N           clock synchronization bound [50]\n"
+        "  --c_us=N             register lease parameter C [40]\n"
+        "  --ell_us=N           MMT step-time bound [10]\n"
+        "  --margin_us=N        flood termination margin [10]\n"
+        "  --write_frac=F       write (enqueue) fraction [0.5]\n"
+        "  --drift=NAME         perfect|offset+|offset-|zigzag|random|\n"
+        "                       opposing|disciplined [zigzag]\n"
+        "  --seed=N             RNG seed [1]\n"
+        "  --super=0|1          superposition register layout [1]\n"
+        "  --trace=PATH         dump the event trace (.jsonl -> JSONL)\n"
+        "\n"
+        "observability (docs/OBSERVABILITY.md):\n"
+        "  --metrics-out=PATH   dump the run's metrics registry as JSONL\n"
+        "  --chrome-trace=PATH  Chrome trace_event JSON of the run (open in\n"
+        "                       chrome://tracing or ui.perfetto.dev)\n"
+        "  --causal-trace=PATH  happens-before DAG as JSONL; with\n"
+        "                       --chrome-trace adds message flow arrows\n"
+        "  --critical-path[=S]  longest real-time path into the last span\n"
+        "                       named S (bare: the run's final span)\n"
+        "  --exec-stats         print the scheduler's self-metrics\n"
+        "  --lint               static PSC0xx lint + online PSC1xx invariant\n"
+        "                       replay; errors fail the exit status\n"
+        "  --flight[=PATH]      always-on binary ring of recent events; .fly\n"
+        "                       snapshot at run end or on first violation\n"
+        "                       when --lint is set [psc-flight.fly]\n"
+        "  --flight-ring=N      per-shard ring capacity in records [8192]\n"
+        "  --profile[=PATH]     per-phase executor self-time table at run\n"
+        "                       end; PATH also gets flamegraph.pl-compatible\n"
+        "                       folded stacks; with --chrome-trace adds\n"
+        "                       per-phase counter tracks\n"
+        "  --prof-sample=N      profile every N-th scheduler iteration "
+        "[64]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: psc-sim "
-                 "<rw-timed|rw-clock|rw-sliced|rw-mmt|queue|flood> "
-                 "[--key=value ...]\n";
+    print_usage(std::cerr);
     return 2;
   }
   const std::string scenario = argv[1];
+  if (scenario == "--help" || scenario == "-h" || scenario == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
   const auto args = parse_args(argc, argv);
   if (scenario == "queue") return run_queue(args);
   if (scenario == "flood") return run_flood(args);
